@@ -1,0 +1,67 @@
+// Fig. 4 reproduction: MLA vs EINA vs DINA average SSIM per conv layer of
+// VGG16 on both datasets. Expected shape: DINA >= EINA >= MLA (DINA gains
+// ~0.1-0.23 SSIM in the paper) and every curve decays with depth, so DINA
+// returns the most conservative (latest) potential boundary.
+
+#include "bench/common.hpp"
+
+int main() {
+    using namespace c2pi;
+    bench::print_banner("Fig. 4 — IDPA comparison (MLA / EINA / DINA on VGG16)", "Figure 4");
+    const char* attacks[] = {"MLA", "EINA", "DINA"};
+
+    for (const std::string ds_kind : {"CIFAR-10", "CIFAR-100"}) {
+        auto dataset = bench::make_dataset(ds_kind);
+        auto model = bench::load_or_train("vgg16", ds_kind, dataset);
+        // Conv-id subset keeps the bench tractable on CPU; the curve shape
+        // (decay with depth, DINA >= EINA >= MLA) is what the figure shows.
+        std::vector<nn::CutPoint> cuts;
+        for (const std::int64_t id : {1, 2, 3, 5, 7, 9, 13})
+            cuts.push_back({.linear_index = id, .after_relu = false});
+
+        std::printf("\nVGG16 / %s-like  (avg SSIM over %zu recoveries, lambda=0.1)\n",
+                    ds_kind.c_str(), bench::scale().attack_eval_samples);
+        std::printf("%8s  %10s  %10s  %10s\n", "conv id", "MLA", "EINA", "DINA");
+
+        std::vector<std::vector<double>> ssim(3, std::vector<double>(cuts.size(), 0.0));
+        for (std::size_t a = 0; a < 3; ++a) {
+            const auto factory = bench::make_attack_factory(attacks[a]);
+            for (std::size_t c = 0; c < cuts.size(); ++c) {
+                if (std::string(attacks[a]) == "DINA") {
+                    ssim[a][c] =
+                        bench::cached_dina_ssim("vgg16", ds_kind, model, dataset, cuts[c], 0.1F);
+                    continue;
+                }
+                auto attack = factory();
+                // MLA is per-image gradient descent: fewer eval samples
+                // keep its column tractable without changing the ordering.
+                const std::size_t n_eval = std::string(attacks[a]) == "MLA"
+                                               ? 3
+                                               : bench::scale().attack_eval_samples;
+                const auto eval = attack::evaluate_idpa(*attack, model, cuts[c], dataset, n_eval,
+                                                        /*lambda=*/0.1F, /*seed=*/101 + c);
+                ssim[a][c] = eval.avg_ssim;
+            }
+        }
+        for (std::size_t c = 0; c < cuts.size(); ++c) {
+            std::printf("%8lld  %10.3f  %10.3f  %10.3f\n",
+                        static_cast<long long>(cuts[c].linear_index), ssim[0][c], ssim[1][c],
+                        ssim[2][c]);
+        }
+        // Potential boundary per attack: first conv id (from the tail)
+        // after which the attack fails the 0.3 threshold.
+        std::printf("potential boundary (sigma=0.3):");
+        for (std::size_t a = 0; a < 3; ++a) {
+            std::int64_t boundary = 1;
+            for (std::size_t c = 0; c < cuts.size(); ++c)
+                if (ssim[a][c] >= 0.3) boundary = cuts[c].linear_index + 1;
+            std::printf("  %s=conv %lld", attacks[a], static_cast<long long>(boundary));
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    bench::print_rule();
+    std::printf("Paper: DINA beats MLA by ~0.21-0.23 and EINA by ~0.11-0.15 SSIM at conv 7;\n"
+                "DINA's boundary is the most conservative of the three.\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 5 reproduction: DINA loss-coefficient ablation. DINA-c1 uses the
+// monotonically increasing coefficients (alpha0=1, alpha1=3, alpha_j =
+// 2*alpha_{j-1}); DINA-c2 uses uniform coefficients. The paper reports c1
+// achieving higher average SSIM at most depths.
+
+#include "bench/common.hpp"
+
+int main() {
+    using namespace c2pi;
+    bench::print_banner("Fig. 5 — DINA-c1 vs DINA-c2 coefficient ablation (VGG16)", "Figure 5");
+
+    for (const std::string ds_kind : {"CIFAR-10", "CIFAR-100"}) {
+        auto dataset = bench::make_dataset(ds_kind);
+        auto model = bench::load_or_train("vgg16", ds_kind, dataset);
+        std::vector<nn::CutPoint> cuts;
+        for (const std::int64_t id : {1, 3, 5, 9, 13})
+            cuts.push_back({.linear_index = id, .after_relu = false});
+
+        std::printf("\nVGG16 / %s-like\n", ds_kind.c_str());
+        std::printf("%8s  %10s  %10s  %12s\n", "conv id", "DINA-c1", "DINA-c2", "improvement");
+        double mean_improvement = 0.0;
+        for (std::size_t c = 0; c < cuts.size(); ++c) {
+            const double s1 =
+                bench::cached_dina_ssim("vgg16", ds_kind, model, dataset, cuts[c], 0.1F);
+            auto c2 = bench::make_attack_factory("DINA-c2")();
+            const auto e2 = attack::evaluate_idpa(*c2, model, cuts[c], dataset,
+                                                  bench::scale().attack_eval_samples, 0.1F,
+                                                  101 + static_cast<std::size_t>(
+                                                            cuts[c].linear_index));
+            const double improvement = s1 - e2.avg_ssim;
+            mean_improvement += improvement;
+            std::printf("%8lld  %10.3f  %10.3f  %+12.3f\n",
+                        static_cast<long long>(cuts[c].linear_index), s1, e2.avg_ssim,
+                        improvement);
+            std::fflush(stdout);
+        }
+        std::printf("mean improvement of DINA-c1 over DINA-c2: %+.3f SSIM\n",
+                    mean_improvement / static_cast<double>(cuts.size()));
+    }
+    bench::print_rule();
+    std::printf("Paper: c1 gains up to ~0.10 (CIFAR-10) / ~0.15 (CIFAR-100) SSIM; the gain\n"
+                "fluctuates per layer but is positive on average.\n");
+    return 0;
+}

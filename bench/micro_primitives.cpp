@@ -1,0 +1,186 @@
+// Microbenchmarks (google-benchmark) for the cryptographic and numeric
+// substrates — not a paper artifact, but the per-primitive costs that
+// explain Table II: NTT, BFV ops, garbled-circuit ReLU, the OT millionaire
+// DReLU, IKNP throughput, and the float conv kernel.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/garbling.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/ot.hpp"
+#include "he/bfv.hpp"
+#include "mpc/nonlinear.hpp"
+#include "net/runtime.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace {
+
+using namespace c2pi;
+
+void BM_NttForward(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const he::u64 p = he::next_ntt_prime(1ULL << 49, 2 * n);
+    const he::NttTables tables(p, n);
+    Rng rng(1);
+    std::vector<he::u64> a(n);
+    for (auto& v : a) v = rng.next_u64() % p;
+    for (auto _ : state) {
+        tables.forward(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096);
+
+void BM_BfvEncrypt(benchmark::State& state) {
+    const he::BfvContext ctx({.n = static_cast<std::size_t>(state.range(0)), .limbs = 4});
+    crypto::ChaCha20Prg prg(crypto::Block128{1, 2});
+    const auto sk = ctx.keygen(prg);
+    std::vector<Ring> plain(ctx.n(), 42);
+    for (auto _ : state) {
+        auto ct = ctx.encrypt(plain, sk, prg);
+        benchmark::DoNotOptimize(ct.c0.limbs[0].data());
+    }
+}
+BENCHMARK(BM_BfvEncrypt)->Arg(1024)->Arg(4096);
+
+void BM_BfvMultiplyPlainAccumulate(benchmark::State& state) {
+    const he::BfvContext ctx({.n = static_cast<std::size_t>(state.range(0)), .limbs = 4});
+    crypto::ChaCha20Prg prg(crypto::Block128{3, 4});
+    const auto sk = ctx.keygen(prg);
+    std::vector<Ring> plain(ctx.n(), 7), weight(ctx.n(), 3);
+    auto ct = ctx.encrypt(plain, sk, prg);
+    ctx.to_ntt(ct);
+    const auto w = ctx.lift_to_ntt(weight);
+    auto acc = ctx.make_accumulator();
+    for (auto _ : state) {
+        ctx.multiply_plain_accumulate(ct, w, acc);
+        benchmark::DoNotOptimize(acc.c0.limbs[0].data());
+    }
+}
+BENCHMARK(BM_BfvMultiplyPlainAccumulate)->Arg(4096);
+
+void BM_GarbleReluCircuit(benchmark::State& state) {
+    const crypto::Circuit circuit = crypto::build_relu_circuit(64);
+    crypto::ChaCha20Prg prg(crypto::Block128{5, 6});
+    for (auto _ : state) {
+        auto g = crypto::garble(circuit, prg);
+        benchmark::DoNotOptimize(g.tables.data());
+    }
+    state.counters["and_gates"] = static_cast<double>(circuit.and_count());
+}
+BENCHMARK(BM_GarbleReluCircuit);
+
+void BM_EvaluateGarbledRelu(benchmark::State& state) {
+    const crypto::Circuit circuit = crypto::build_relu_circuit(64);
+    crypto::ChaCha20Prg prg(crypto::Block128{7, 8});
+    const auto g = crypto::garble(circuit, prg);
+    std::vector<crypto::Block128> ga, ea;
+    for (std::int64_t i = 0; i < circuit.num_garbler_inputs; ++i)
+        ga.push_back(g.garbler_label(static_cast<std::size_t>(i), i % 2 == 0));
+    for (std::int64_t i = 0; i < circuit.num_evaluator_inputs; ++i)
+        ea.push_back(g.evaluator_label(static_cast<std::size_t>(i), i % 3 == 0));
+    for (auto _ : state) {
+        auto bits = crypto::evaluate_garbled(circuit, g.tables, ga, ea, g.output_decode);
+        benchmark::DoNotOptimize(bits.data());
+    }
+}
+BENCHMARK(BM_EvaluateGarbledRelu);
+
+void BM_SecureReluBatch(benchmark::State& state) {
+    // End-to-end batched secure ReLU over the in-process channel: the
+    // number that directly drives the Table II non-linear cost.
+    const auto backend = state.range(0) == 0 ? mpc::NonlinearBackend::kGarbledCircuit
+                                             : mpc::NonlinearBackend::kOtMillionaire;
+    const std::size_t n = 1024;
+    const FixedPointFormat fmt{.frac_bits = 16};
+    const he::BfvContext bfv({.n = 256, .limbs = 4});
+    Rng rng(9);
+    std::vector<Ring> v0(n), v1(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Ring val = fmt.encode(rng.uniform(-2.0F, 2.0F));
+        v0[i] = rng.next_u64();
+        v1[i] = val - v0[i];
+    }
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        net::DuplexChannel channel;
+        net::run_two_party(
+            channel,
+            [&](net::Transport& t) {
+                mpc::PartyContext ctx(t, fmt, bfv, crypto::Block128{1, 1});
+                benchmark::DoNotOptimize(mpc::secure_relu(ctx, v0, backend));
+            },
+            [&](net::Transport& t) {
+                mpc::PartyContext ctx(t, fmt, bfv, crypto::Block128{1, 1});
+                benchmark::DoNotOptimize(mpc::secure_relu(ctx, v1, backend));
+            });
+        bytes = channel.stats().total_bytes();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.counters["bytes_per_relu"] = static_cast<double>(bytes) / static_cast<double>(n);
+}
+// Arg 0 = garbled-circuit backend (Delphi), arg 1 = OT millionaire (Cheetah).
+BENCHMARK(BM_SecureReluBatch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_IknpRandomOt(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const auto setup = crypto::dealer_base_ots(crypto::Block128{2, 3});
+    crypto::ChaCha20Prg prg(crypto::Block128{4, 5});
+    const auto choices = prg.next_bits(n);
+    for (auto _ : state) {
+        net::DuplexChannel channel;
+        net::run_two_party(
+            channel,
+            [&](net::Transport& t) {
+                crypto::IknpSender ext(setup.sender);
+                benchmark::DoNotOptimize(ext.extend(t, n));
+            },
+            [&](net::Transport& t) {
+                crypto::IknpReceiver ext(setup.receiver);
+                benchmark::DoNotOptimize(ext.extend(t, choices));
+            });
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IknpRandomOt)->Arg(4096)->Arg(65536)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2dFloat(benchmark::State& state) {
+    Rng rng(11);
+    const Tensor x = Tensor::randn({1, 16, 32, 32}, rng);
+    const Tensor w = Tensor::randn({16, 16, 3, 3}, rng);
+    const Tensor b = Tensor::randn({16}, rng);
+    const ops::ConvSpec spec{.kernel = 3, .stride = 1, .pad = 1};
+    for (auto _ : state) {
+        auto y = ops::conv2d(x, w, b, spec);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Conv2dFloat);
+
+void BM_Sha256(benchmark::State& state) {
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xAB);
+    for (auto _ : state) {
+        auto d = crypto::Sha256::digest(data);
+        benchmark::DoNotOptimize(d.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
+
+void BM_CrHash(benchmark::State& state) {
+    crypto::Block128 x{123, 456};
+    std::uint64_t tweak = 0;
+    for (auto _ : state) {
+        x = crypto::cr_hash(tweak++, x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_CrHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table I reproduction: C2PI boundary and accuracy for two DINA failure
+// thresholds (sigma = 0.2 and 0.3) across the six model x dataset
+// combinations. One SSIM sweep per combination serves both thresholds
+// (the sweep records avg SSIM at every probed cut).
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace c2pi;
+
+struct Row {
+    double baseline;
+    nn::CutPoint b02, b03;
+    double acc02, acc03;
+};
+
+Row run_combo(const std::string& model_name, const std::string& ds_kind) {
+    auto dataset = bench::make_dataset(ds_kind);
+    Row row{};
+    auto model = bench::load_or_train(model_name, ds_kind, dataset, &row.baseline);
+
+    // One tail-to-head DINA sweep serves both thresholds (Algorithm 1 with
+    // shared phase-1 probes; integer conv-id cuts keep the sweep
+    // tractable; the paper additionally probes .5 positions).
+    const double sigmas[] = {0.2, 0.3};
+    const auto results =
+        bench::cached_boundary_search(model_name, ds_kind, model, dataset, sigmas,
+                                      /*lambda=*/0.1F, /*max_accuracy_drop=*/0.025,
+                                      /*include_half_points=*/false);
+    row.b02 = results[0].boundary;
+    row.acc02 = results[0].boundary_accuracy;
+    row.b03 = results[1].boundary;
+    row.acc03 = results[1].boundary_accuracy;
+    return row;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_banner("Table I — C2PI boundary and accuracy (sigma = 0.2 / 0.3)", "Table I");
+    std::printf("%-10s %-8s %12s | %10s %9s | %10s %9s\n", "dataset", "network", "baseline acc",
+                "b(s=0.2)", "acc", "b(s=0.3)", "acc");
+    bench::print_rule();
+    for (const std::string ds_kind : {"CIFAR-10", "CIFAR-100"}) {
+        for (const std::string model_name : {"alexnet", "vgg16", "vgg19"}) {
+            const Row row = run_combo(model_name, ds_kind);
+            std::printf("%-10s %-8s %11.2f%% | %10.1f %8.2f%% | %10.1f %8.2f%%\n", ds_kind.c_str(),
+                        model_name.c_str(), 100.0 * row.baseline, row.b02.as_decimal(),
+                        100.0 * row.acc02, row.b03.as_decimal(), 100.0 * row.acc03);
+            std::fflush(stdout);
+        }
+    }
+    bench::print_rule();
+    std::printf(
+        "Paper (full-width, real CIFAR): boundaries 5/13.5/11 (s=0.2) and 4/9/9 (s=0.3)\n"
+        "on CIFAR-10; accuracy within ~2.5%% of baseline. Expect the same ordering here:\n"
+        "s=0.2 boundaries at or later than s=0.3 boundaries, accuracy near baseline.\n");
+    return 0;
+}

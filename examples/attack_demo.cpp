@@ -1,0 +1,90 @@
+// Attack demo: step into the curious server's shoes. Trains DINA against
+// activations at several depths, renders the recovered images as ASCII
+// art next to the original, and shows how the paper's uniform-noise
+// defense degrades recovery.
+//
+// Build & run:  ./build/examples/attack_demo
+
+#include <cstdio>
+
+#include "attack/inverse.hpp"
+#include "metrics/ssim.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using namespace c2pi;
+
+/// Render a [3,H,W] image as ASCII luminance art.
+void render(const Tensor& image, const char* caption) {
+    static const char* ramp = " .:-=+*#%@";
+    const std::int64_t h = image.dim(1), w = image.dim(2);
+    std::printf("%s\n", caption);
+    for (std::int64_t y = 0; y < h; y += 1) {
+        std::printf("    ");
+        for (std::int64_t x = 0; x < w; ++x) {
+            const float lum = (image[(0 * h + y) * w + x] + image[(1 * h + y) * w + x] +
+                               image[(2 * h + y) * w + x]) /
+                              3.0F;
+            const int level = std::min(9, std::max(0, static_cast<int>(lum * 9.99F)));
+            std::printf("%c%c", ramp[level], ramp[level]);
+        }
+        std::printf("\n");
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== DINA attack demo: what does the server see? ===\n\n");
+
+    auto dcfg = data::DatasetConfig::cifar10_like();
+    dcfg.image_size = 16;
+    dcfg.train_size = 256;
+    dcfg.test_size = 64;
+    data::SyntheticImageDataset dataset(dcfg);
+
+    nn::ModelConfig mcfg;
+    mcfg.width_multiplier = 0.1F;
+    mcfg.input_hw = 16;
+    nn::Sequential model = nn::make_alexnet(mcfg);
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 12;
+    tcfg.lr = 0.01F;
+    tcfg.momentum = 0.9F;
+    (void)nn::train_classifier(model, dataset, tcfg);
+
+    const Tensor& truth = dataset.test()[5].image;
+    render(truth, "Client's private input:");
+
+    attack::InverseConfig cfg;
+    cfg.epochs = 8;
+    cfg.train_samples = 192;
+
+    Rng rng(17);
+    struct Probe {
+        std::int64_t conv_id;
+        float lambda;
+    };
+    for (const Probe probe : {Probe{1, 0.0F}, Probe{3, 0.0F}, Probe{5, 0.0F}, Probe{1, 0.4F}}) {
+        const nn::CutPoint cut{.linear_index = probe.conv_id, .after_relu = true};
+        attack::InverseNetAttack dina(attack::InverseKind::kDistilled, cfg);
+        dina.fit(model, cut, dataset, probe.lambda);
+        const Tensor act = attack::noised_activation(model, cut, truth, probe.lambda, rng);
+        const Tensor guess = dina.recover(model, cut, act).reshaped(truth.shape());
+        const double ssim = metrics::ssim(truth, guess);
+        char caption[128];
+        std::snprintf(caption, sizeof(caption),
+                      "\nDINA recovery from conv %lld.5 (noise lambda=%.1f)  SSIM %.3f -> %s:",
+                      static_cast<long long>(probe.conv_id), probe.lambda, ssim,
+                      ssim >= 0.3 ? "RECOVERED" : "protected");
+        render(guess, caption);
+    }
+
+    std::printf(
+        "\nTakeaway: shallow activations leak the image; depth and share noise both\n"
+        "push SSIM under the 0.3 failure threshold — exactly where C2PI's Algorithm 1\n"
+        "places the crypto-clear boundary.\n");
+    return 0;
+}

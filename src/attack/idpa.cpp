@@ -1,0 +1,47 @@
+#include "attack/idpa.hpp"
+
+#include "metrics/ssim.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace c2pi::attack {
+
+Tensor noised_activation(nn::Sequential& model, const nn::CutPoint& cut, const Tensor& image_chw,
+                         float noise_lambda, Rng& rng) {
+    const Tensor batched =
+        image_chw.rank() == 3
+            ? image_chw.reshaped({1, image_chw.dim(0), image_chw.dim(1), image_chw.dim(2)})
+            : image_chw;
+    Tensor act = model.forward_prefix(cut, batched);
+    if (noise_lambda > 0.0F) {
+        for (std::int64_t i = 0; i < act.numel(); ++i)
+            act[i] += rng.uniform(-noise_lambda, noise_lambda);
+    }
+    return act;
+}
+
+IdpaEvaluation evaluate_idpa(Idpa& attack, nn::Sequential& model, const nn::CutPoint& cut,
+                             const data::SyntheticImageDataset& dataset, std::size_t n_eval,
+                             float noise_lambda, std::uint64_t seed) {
+    attack.fit(model, cut, dataset, noise_lambda);
+    Rng rng(seed);
+    IdpaEvaluation eval;
+    const auto& test = dataset.test();
+    n_eval = std::min(n_eval, test.size());
+    for (std::size_t i = 0; i < n_eval; ++i) {
+        const Tensor& truth = test[i].image;
+        const Tensor act = noised_activation(model, cut, truth, noise_lambda, rng);
+        Tensor guess = attack.recover(model, cut, act);
+        if (guess.rank() == 4) guess = guess.reshaped({guess.dim(1), guess.dim(2), guess.dim(3)});
+        guess = ops::clamp(guess, 0.0F, 1.0F);
+        eval.avg_ssim += metrics::ssim(truth, guess);
+        eval.avg_psnr += metrics::psnr(truth, guess);
+        ++eval.samples;
+    }
+    if (eval.samples > 0) {
+        eval.avg_ssim /= static_cast<double>(eval.samples);
+        eval.avg_psnr /= static_cast<double>(eval.samples);
+    }
+    return eval;
+}
+
+}  // namespace c2pi::attack

@@ -1,0 +1,56 @@
+#include "attack/mla.hpp"
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace c2pi::attack {
+
+Tensor MlaAttack::recover(nn::Sequential& model, const nn::CutPoint& cut,
+                          const Tensor& activation) {
+    Rng rng(config_.seed);
+    require(model.layer(0).kind() == nn::LayerKind::kConv2d, "MLA expects a conv-first model");
+    // Infer the input resolution: probe candidate sizes and keep the one
+    // whose prefix output matches the target activation shape.
+    const auto& conv1 = static_cast<const nn::Conv2d&>(model.layer(0));
+    const std::int64_t channels = conv1.in_channels();
+    Shape input_shape;
+    for (const std::int64_t hw : {32L, 16L, 8L, 64L, 24L, 48L}) {
+        Tensor probe({1, channels, hw, hw});
+        try {
+            const Tensor out = model.forward_prefix(cut, probe);
+            if (out.shape() == activation.shape()) {
+                input_shape = {1, channels, hw, hw};
+                break;
+            }
+        } catch (const Error&) {
+            continue;
+        }
+    }
+    require(!input_shape.empty(), "could not infer input resolution for MLA");
+
+    const std::size_t end = model.flat_cut_index(cut) + 1;
+    Tensor x = Tensor::uniform(input_shape, rng, 0.0F, 1.0F);
+
+    // Adam state for the input-space optimisation.
+    Tensor m(input_shape), v(input_shape);
+    const float beta1 = 0.9F, beta2 = 0.999F, eps = 1e-8F;
+    for (int it = 1; it <= config_.iterations; ++it) {
+        const Tensor out = model.forward_range(0, end, x);
+        const auto loss = ops::mse_loss(out, activation);
+        const Tensor grad = model.backward_range(0, end, loss.grad_logits);
+        const float bc1 = 1.0F - std::pow(beta1, static_cast<float>(it));
+        const float bc2 = 1.0F - std::pow(beta2, static_cast<float>(it));
+        for (std::int64_t i = 0; i < x.numel(); ++i) {
+            m[i] = beta1 * m[i] + (1.0F - beta1) * grad[i];
+            v[i] = beta2 * v[i] + (1.0F - beta2) * grad[i] * grad[i];
+            x[i] -= config_.lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+            x[i] = std::clamp(x[i], 0.0F, 1.0F);
+        }
+    }
+    model.zero_grad();  // discard parameter gradients accumulated above
+    return x;
+}
+
+}  // namespace c2pi::attack

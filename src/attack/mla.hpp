@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file mla.hpp
+/// Maximum-likelihood attack (He, Zhang, Lee — ACSAC 2019, paper §II):
+/// recover x by solving argmin_x ||M_l(x) - M_l(target)||_2^2 with
+/// gradient descent through the first l layers. The paper runs 10000
+/// iterations; the default here is scaled for CPU (DESIGN.md §4 subst. 6)
+/// and configurable.
+
+#include "attack/idpa.hpp"
+
+namespace c2pi::attack {
+
+struct MlaConfig {
+    int iterations = 300;
+    float lr = 0.05F;
+    std::uint64_t seed = kDefaultSeed;
+};
+
+class MlaAttack final : public Idpa {
+public:
+    explicit MlaAttack(MlaConfig config = {}) : config_(config) {}
+
+    void fit(nn::Sequential&, const nn::CutPoint&, const data::SyntheticImageDataset&,
+             float) override {}
+
+    [[nodiscard]] Tensor recover(nn::Sequential& model, const nn::CutPoint& cut,
+                                 const Tensor& activation) override;
+
+    [[nodiscard]] std::string name() const override { return "MLA"; }
+
+private:
+    MlaConfig config_;
+};
+
+}  // namespace c2pi::attack

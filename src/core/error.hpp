@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling for the c2pi library.
+///
+/// Following the C++ Core Guidelines (E.2, E.3) we report precondition and
+/// invariant violations through exceptions carrying a source location, and
+/// we keep the checking helpers as plain functions rather than macros
+/// wherever the condition message can be built lazily enough.
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace c2pi {
+
+/// Exception thrown when a c2pi API precondition or internal invariant is
+/// violated. Carries the failing expression/message and source location.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(std::string_view message, const std::source_location& loc) {
+    std::ostringstream os;
+    os << loc.file_name() << ':' << loc.line() << " (" << loc.function_name()
+       << "): " << message;
+    throw Error(os.str());
+}
+}  // namespace detail
+
+/// Verify a runtime condition; throws c2pi::Error with location on failure.
+/// Used for API precondition checks that must stay active in release builds.
+inline void require(bool condition, std::string_view message,
+                    const std::source_location loc = std::source_location::current()) {
+    if (!condition) detail::raise(message, loc);
+}
+
+/// Signal an unreachable/unsupported code path.
+[[noreturn]] inline void fail(std::string_view message,
+                              const std::source_location loc = std::source_location::current()) {
+    detail::raise(message, loc);
+}
+
+}  // namespace c2pi

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file fixed_point.hpp
+/// Fixed-point encoding over the ring Z_{2^64}.
+///
+/// Two-party protocols in this repo operate on additive secret shares over
+/// Z_{2^64}. Real-valued network activations/weights are mapped into the
+/// ring with a signed fixed-point code: encode(v) = round(v * 2^frac_bits)
+/// interpreted modulo 2^64 (two's complement). A 64-bit ring with 16
+/// fractional bits gives enough integer headroom that SecureML-style local
+/// truncation has negligible wrap probability (see DESIGN.md §6).
+
+#include <cmath>
+#include <cstdint>
+
+namespace c2pi {
+
+/// Ring element type used by every MPC protocol in the repo.
+using Ring = std::uint64_t;
+
+/// Fixed-point format descriptor. Kept as a value type so engines and
+/// protocols can be parameterized per experiment.
+struct FixedPointFormat {
+    int frac_bits = 16;  ///< fractional bits f; one real unit == 2^f
+
+    [[nodiscard]] double scale() const { return std::ldexp(1.0, frac_bits); }
+
+    /// Encode a real value into the ring (round-to-nearest, two's complement wrap).
+    [[nodiscard]] Ring encode(double v) const {
+        const double scaled = v * scale();
+        // llround saturates UB on overflow; experiments keep |v| << 2^(63-f).
+        return static_cast<Ring>(static_cast<std::int64_t>(std::llround(scaled)));
+    }
+
+    /// Decode a ring element back to a real value (signed interpretation).
+    [[nodiscard]] double decode(Ring r) const {
+        return static_cast<double>(static_cast<std::int64_t>(r)) / scale();
+    }
+
+    /// Local arithmetic-shift truncation used after fixed-point products:
+    /// divides by 2^f preserving sign. On secret shares this is the
+    /// SecureML probabilistic truncation (off by at most 1 ulp w.h.p.).
+    [[nodiscard]] Ring truncate(Ring r) const {
+        return static_cast<Ring>(static_cast<std::int64_t>(r) >> frac_bits);
+    }
+};
+
+}  // namespace c2pi

@@ -1,0 +1,33 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+
+namespace c2pi {
+
+float Rng::normal() {
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box–Muller on (0,1] uniforms to avoid log(0).
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = static_cast<float>(radius * std::sin(angle));
+    have_cached_normal_ = true;
+    return static_cast<float>(radius * std::cos(angle));
+}
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+        const std::size_t j = uniform_index(i + 1);
+        std::swap(v[i], v[j]);
+    }
+}
+
+}  // namespace c2pi

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Wall-clock timing helper used by benches and protocol statistics.
+
+#include <chrono>
+
+namespace c2pi {
+
+/// Simple monotonic stopwatch; starts on construction.
+class Stopwatch {
+public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Elapsed seconds since construction or last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace c2pi

@@ -1,0 +1,97 @@
+#include "crypto/chacha20.hpp"
+
+#include "core/error.hpp"
+
+namespace c2pi::crypto {
+
+namespace {
+inline std::uint32_t rotl32(std::uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+    a += b; d ^= a; d = rotl32(d, 16);
+    c += d; b ^= c; b = rotl32(b, 12);
+    a += b; d ^= a; d = rotl32(d, 8);
+    c += d; b ^= c; b = rotl32(b, 7);
+}
+
+void chacha20_block(const std::uint32_t state[16], std::uint8_t out[64]) {
+    std::uint32_t x[16];
+    std::memcpy(x, state, sizeof(x));
+    for (int round = 0; round < 10; ++round) {
+        quarter_round(x[0], x[4], x[8], x[12]);
+        quarter_round(x[1], x[5], x[9], x[13]);
+        quarter_round(x[2], x[6], x[10], x[14]);
+        quarter_round(x[3], x[7], x[11], x[15]);
+        quarter_round(x[0], x[5], x[10], x[15]);
+        quarter_round(x[1], x[6], x[11], x[12]);
+        quarter_round(x[2], x[7], x[8], x[13]);
+        quarter_round(x[3], x[4], x[9], x[14]);
+    }
+    for (int i = 0; i < 16; ++i) {
+        const std::uint32_t v = x[i] + state[i];
+        std::memcpy(out + 4 * i, &v, 4);
+    }
+}
+}  // namespace
+
+ChaCha20Prg::ChaCha20Prg(const Block128& seed, std::uint64_t nonce) {
+    std::uint8_t key[32];
+    seed.to_bytes(key);
+    seed.to_bytes(key + 16);
+    *this = ChaCha20Prg(std::span<const std::uint8_t>(key, 32), nonce);
+}
+
+ChaCha20Prg::ChaCha20Prg(std::span<const std::uint8_t> key32, std::uint64_t nonce) {
+    require(key32.size() == 32, "ChaCha20 key must be 32 bytes");
+    // "expand 32-byte k" constants.
+    state_[0] = 0x61707865;
+    state_[1] = 0x3320646E;
+    state_[2] = 0x79622D32;
+    state_[3] = 0x6B206574;
+    std::memcpy(&state_[4], key32.data(), 32);
+    state_[12] = 0;  // block counter
+    state_[13] = static_cast<std::uint32_t>(nonce);
+    state_[14] = static_cast<std::uint32_t>(nonce >> 32);
+    state_[15] = 0;
+}
+
+void ChaCha20Prg::refill() {
+    chacha20_block(state_, buffer_);
+    buffer_pos_ = 0;
+    if (++state_[12] == 0) ++state_[13];  // 64-bit effective counter
+}
+
+void ChaCha20Prg::fill_bytes(std::span<std::uint8_t> out) {
+    std::size_t off = 0;
+    while (off < out.size()) {
+        if (buffer_pos_ == 64) refill();
+        const std::size_t take = std::min<std::size_t>(64 - buffer_pos_, out.size() - off);
+        std::memcpy(out.data() + off, buffer_ + buffer_pos_, take);
+        buffer_pos_ += take;
+        off += take;
+    }
+}
+
+std::uint64_t ChaCha20Prg::next_u64() {
+    std::uint8_t raw[8];
+    fill_bytes(raw);
+    std::uint64_t v;
+    std::memcpy(&v, raw, 8);
+    return v;
+}
+
+Block128 ChaCha20Prg::next_block() {
+    std::uint8_t raw[16];
+    fill_bytes(raw);
+    return Block128::from_bytes(raw);
+}
+
+std::vector<std::uint8_t> ChaCha20Prg::next_bits(std::size_t n) {
+    std::vector<std::uint8_t> packed((n + 7) / 8);
+    fill_bytes(packed);
+    std::vector<std::uint8_t> bits(n);
+    for (std::size_t i = 0; i < n; ++i) bits[i] = (packed[i / 8] >> (i % 8)) & 1U;
+    return bits;
+}
+
+}  // namespace c2pi::crypto

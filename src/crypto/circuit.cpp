@@ -1,0 +1,201 @@
+#include "crypto/circuit.hpp"
+
+namespace c2pi::crypto {
+
+std::int32_t CircuitBuilder::add_garbler_input() {
+    require(!inputs_frozen_, "declare all inputs before adding gates");
+    ++num_garbler_inputs_;
+    return new_wire();
+}
+
+std::int32_t CircuitBuilder::add_evaluator_input() {
+    require(!inputs_frozen_, "declare all inputs before adding gates");
+    ++num_evaluator_inputs_;
+    return new_wire();
+}
+
+Word CircuitBuilder::add_garbler_word(int bits) {
+    Word w(static_cast<std::size_t>(bits));
+    for (auto& wire : w) wire = add_garbler_input();
+    return w;
+}
+
+Word CircuitBuilder::add_evaluator_word(int bits) {
+    Word w(static_cast<std::size_t>(bits));
+    for (auto& wire : w) wire = add_evaluator_input();
+    return w;
+}
+
+std::int32_t CircuitBuilder::make_xor(std::int32_t a, std::int32_t b) {
+    inputs_frozen_ = true;
+    const auto out = new_wire();
+    gates_.push_back({GateKind::kXor, a, b, out});
+    return out;
+}
+
+std::int32_t CircuitBuilder::make_and(std::int32_t a, std::int32_t b) {
+    inputs_frozen_ = true;
+    const auto out = new_wire();
+    gates_.push_back({GateKind::kAnd, a, b, out});
+    return out;
+}
+
+std::int32_t CircuitBuilder::make_not(std::int32_t a) {
+    inputs_frozen_ = true;
+    const auto out = new_wire();
+    gates_.push_back({GateKind::kNot, a, -1, out});
+    return out;
+}
+
+void CircuitBuilder::mark_output(std::int32_t wire) { outputs_.push_back(wire); }
+
+void CircuitBuilder::mark_output_word(const Word& w) {
+    for (const auto wire : w) mark_output(wire);
+}
+
+Word CircuitBuilder::ripple_add(const Word& a, const Word& b) {
+    require(a.size() == b.size() && !a.empty(), "adder operand width mismatch");
+    Word sum(a.size());
+    // Full adder with one AND per bit: s = a^b^c, c' = c ^ ((a^c)&(b^c)).
+    std::int32_t carry = -1;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::int32_t axb = make_xor(a[i], b[i]);
+        if (carry < 0) {
+            sum[i] = axb;
+            if (i + 1 < a.size()) carry = make_and(a[i], b[i]);
+        } else {
+            sum[i] = make_xor(axb, carry);
+            if (i + 1 < a.size()) {
+                const std::int32_t axc = make_xor(a[i], carry);
+                const std::int32_t bxc = make_xor(b[i], carry);
+                carry = make_xor(carry, make_and(axc, bxc));
+            }
+        }
+    }
+    return sum;
+}
+
+Word CircuitBuilder::ripple_sub(const Word& a, const Word& b) {
+    require(a.size() == b.size() && !a.empty(), "subtractor operand width mismatch");
+    // a - b = a + ~b + 1: seed the carry chain with 1.
+    Word sum(a.size());
+    std::int32_t carry = -1;  // conceptual carry-in of 1 folded into first step
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::int32_t nb = make_not(b[i]);
+        const std::int32_t axb = make_xor(a[i], nb);
+        if (i == 0) {
+            // s0 = a ^ ~b ^ 1 ; c1 = majority(a, ~b, 1) = a | ~b
+            sum[i] = make_not(axb);
+            if (a.size() > 1) {
+                // a | ~b = ~(~a & b)
+                carry = make_not(make_and(make_not(a[i]), b[i]));
+            }
+        } else {
+            sum[i] = make_xor(axb, carry);
+            if (i + 1 < a.size()) {
+                const std::int32_t axc = make_xor(a[i], carry);
+                const std::int32_t bxc = make_xor(nb, carry);
+                carry = make_xor(carry, make_and(axc, bxc));
+            }
+        }
+    }
+    return sum;
+}
+
+Word CircuitBuilder::mux(std::int32_t sel, const Word& a, const Word& b) {
+    require(a.size() == b.size(), "mux operand width mismatch");
+    // out = b ^ sel&(a^b)
+    Word out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::int32_t diff = make_xor(a[i], b[i]);
+        out[i] = make_xor(b[i], make_and(sel, diff));
+    }
+    return out;
+}
+
+Word CircuitBuilder::zero_if(std::int32_t sel, const Word& a) {
+    // out = a & ~sel
+    const std::int32_t keep = make_not(sel);
+    Word out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = make_and(a[i], keep);
+    return out;
+}
+
+Circuit CircuitBuilder::build() {
+    Circuit c;
+    c.num_garbler_inputs = num_garbler_inputs_;
+    c.num_evaluator_inputs = num_evaluator_inputs_;
+    c.num_wires = num_wires_;
+    c.gates = std::move(gates_);
+    c.outputs = std::move(outputs_);
+    return c;
+}
+
+std::vector<std::uint8_t> evaluate_plain(const Circuit& c, std::vector<std::uint8_t> garbler_bits,
+                                         std::vector<std::uint8_t> evaluator_bits) {
+    require(garbler_bits.size() == static_cast<std::size_t>(c.num_garbler_inputs),
+            "garbler input count mismatch");
+    require(evaluator_bits.size() == static_cast<std::size_t>(c.num_evaluator_inputs),
+            "evaluator input count mismatch");
+    std::vector<std::uint8_t> wires(static_cast<std::size_t>(c.num_wires), 0);
+    for (std::size_t i = 0; i < garbler_bits.size(); ++i) wires[i] = garbler_bits[i] & 1U;
+    for (std::size_t i = 0; i < evaluator_bits.size(); ++i)
+        wires[garbler_bits.size() + i] = evaluator_bits[i] & 1U;
+    for (const auto& g : c.gates) {
+        switch (g.kind) {
+            case GateKind::kXor:
+                wires[g.out] = wires[g.in0] ^ wires[g.in1];
+                break;
+            case GateKind::kAnd:
+                wires[g.out] = wires[g.in0] & wires[g.in1];
+                break;
+            case GateKind::kNot:
+                wires[g.out] = wires[g.in0] ^ 1U;
+                break;
+        }
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(c.outputs.size());
+    for (const auto w : c.outputs) out.push_back(wires[w]);
+    return out;
+}
+
+Circuit build_relu_circuit(int bits) {
+    CircuitBuilder b;
+    const Word x0 = b.add_garbler_word(bits);
+    const Word neg_r = b.add_garbler_word(bits);
+    const Word x1 = b.add_evaluator_word(bits);
+    const Word x = b.ripple_add(x0, x1);
+    const std::int32_t negative = CircuitBuilder::sign_bit(x);
+    const Word rectified = b.zero_if(negative, x);
+    const Word shared = b.ripple_add(rectified, neg_r);
+    b.mark_output_word(shared);
+    return b.build();
+}
+
+Circuit build_max_circuit(int bits, int k) {
+    require(k >= 2, "max circuit needs at least two inputs");
+    CircuitBuilder b;
+    std::vector<Word> x0(static_cast<std::size_t>(k)), x1(static_cast<std::size_t>(k));
+    for (auto& w : x0) w = b.add_garbler_word(bits);
+    const Word neg_r = b.add_garbler_word(bits);
+    for (auto& w : x1) w = b.add_evaluator_word(bits);
+
+    std::vector<Word> values(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+        values[static_cast<std::size_t>(i)] =
+            b.ripple_add(x0[static_cast<std::size_t>(i)], x1[static_cast<std::size_t>(i)]);
+
+    // Tournament max: best = (best - v) < 0 ? v : best.
+    Word best = values[0];
+    for (int i = 1; i < k; ++i) {
+        const Word& v = values[static_cast<std::size_t>(i)];
+        const Word diff = b.ripple_sub(best, v);
+        const std::int32_t less = CircuitBuilder::sign_bit(diff);
+        best = b.mux(less, v, best);
+    }
+    b.mark_output_word(b.ripple_add(best, neg_r));
+    return b.build();
+}
+
+}  // namespace c2pi::crypto

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file circuit.hpp
+/// Boolean circuit IR + builder for the garbled-circuit protocols.
+/// XOR and NOT are free (free-XOR garbling); only AND gates cost table
+/// entries. Word helpers build the 64-bit ripple adders / comparators /
+/// muxes that Delphi-style secure ReLU and MaxPool need.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace c2pi::crypto {
+
+enum class GateKind : std::uint8_t { kXor, kAnd, kNot };
+
+struct Gate {
+    GateKind kind;
+    std::int32_t in0 = -1;
+    std::int32_t in1 = -1;  ///< unused for NOT
+    std::int32_t out = -1;
+};
+
+/// Immutable gate-list circuit. Wires are numbered: first the garbler
+/// inputs, then the evaluator inputs, then internal wires in topological
+/// order.
+struct Circuit {
+    std::int32_t num_garbler_inputs = 0;
+    std::int32_t num_evaluator_inputs = 0;
+    std::int32_t num_wires = 0;
+    std::vector<Gate> gates;
+    std::vector<std::int32_t> outputs;
+
+    [[nodiscard]] std::size_t and_count() const {
+        std::size_t n = 0;
+        for (const auto& g : gates) n += (g.kind == GateKind::kAnd);
+        return n;
+    }
+};
+
+/// A little-endian group of wires representing an unsigned integer.
+using Word = std::vector<std::int32_t>;
+
+class CircuitBuilder {
+public:
+    /// Inputs must be declared before any gate is added.
+    [[nodiscard]] std::int32_t add_garbler_input();
+    [[nodiscard]] std::int32_t add_evaluator_input();
+    [[nodiscard]] Word add_garbler_word(int bits);
+    [[nodiscard]] Word add_evaluator_word(int bits);
+
+    [[nodiscard]] std::int32_t make_xor(std::int32_t a, std::int32_t b);
+    [[nodiscard]] std::int32_t make_and(std::int32_t a, std::int32_t b);
+    [[nodiscard]] std::int32_t make_not(std::int32_t a);
+
+    void mark_output(std::int32_t wire);
+    void mark_output_word(const Word& w);
+
+    // -- word-level helpers (little endian, modular arithmetic) -------------
+    /// sum = (a + b) mod 2^bits ; 1 AND per bit except the last.
+    [[nodiscard]] Word ripple_add(const Word& a, const Word& b);
+    /// diff = (a - b) mod 2^bits via a + ~b + 1.
+    [[nodiscard]] Word ripple_sub(const Word& a, const Word& b);
+    /// out = sel ? a : b, bitwise.
+    [[nodiscard]] Word mux(std::int32_t sel, const Word& a, const Word& b);
+    /// out = sel ? 0 : a  (the ReLU multiplexer).
+    [[nodiscard]] Word zero_if(std::int32_t sel, const Word& a);
+    /// Most significant bit (two's-complement sign).
+    [[nodiscard]] static std::int32_t sign_bit(const Word& w) { return w.back(); }
+
+    [[nodiscard]] Circuit build();
+
+private:
+    [[nodiscard]] std::int32_t new_wire() { return num_wires_++; }
+
+    bool inputs_frozen_ = false;
+    std::int32_t num_wires_ = 0;
+    std::int32_t num_garbler_inputs_ = 0;
+    std::int32_t num_evaluator_inputs_ = 0;
+    std::vector<Gate> gates_;
+    std::vector<std::int32_t> outputs_;
+};
+
+/// Plaintext reference evaluation (for tests): inputs are bit vectors.
+[[nodiscard]] std::vector<std::uint8_t> evaluate_plain(const Circuit& c,
+                                                       std::vector<std::uint8_t> garbler_bits,
+                                                       std::vector<std::uint8_t> evaluator_bits);
+
+// -- canned circuits used by the Delphi-style protocols -------------------------
+
+/// ReLU with re-sharing: garbler inputs (x0, neg_r), evaluator input x1.
+/// Output word = ReLU(x0 + x1) + neg_r (mod 2^bits). The garbler sets
+/// neg_r = -r so the parties end with fresh additive shares (r, output).
+[[nodiscard]] Circuit build_relu_circuit(int bits);
+
+/// k-input max with re-sharing: garbler inputs (x0_1..x0_k, neg_r),
+/// evaluator inputs (x1_1..x1_k). Output = max_i(x0_i + x1_i) + neg_r.
+[[nodiscard]] Circuit build_max_circuit(int bits, int k);
+
+}  // namespace c2pi::crypto

@@ -1,0 +1,119 @@
+#include "crypto/garbling.hpp"
+
+#include "crypto/hash.hpp"
+
+namespace c2pi::crypto {
+
+Garbling garble(const Circuit& circuit, ChaCha20Prg& prg) {
+    Garbling g;
+    g.delta = prg.next_block();
+    g.delta.lo |= 1ULL;  // point-and-permute: delta colour bit must be 1
+
+    std::vector<Block128> zero(static_cast<std::size_t>(circuit.num_wires));
+    const std::size_t n_inputs =
+        static_cast<std::size_t>(circuit.num_garbler_inputs + circuit.num_evaluator_inputs);
+    for (std::size_t i = 0; i < n_inputs; ++i) zero[i] = prg.next_block();
+
+    g.tables.reserve(circuit.and_count() * 2);
+    std::uint64_t tweak = 0;
+    for (const auto& gate : circuit.gates) {
+        switch (gate.kind) {
+            case GateKind::kXor:
+                zero[gate.out] = zero[gate.in0] ^ zero[gate.in1];
+                break;
+            case GateKind::kNot:
+                // Free NOT: output zero-label is the input one-label.
+                zero[gate.out] = zero[gate.in0] ^ g.delta;
+                break;
+            case GateKind::kAnd: {
+                const Block128 a0 = zero[gate.in0];
+                const Block128 b0 = zero[gate.in1];
+                const bool pa = a0.colour();
+                const bool pb = b0.colour();
+                const std::uint64_t j0 = tweak++;
+                const std::uint64_t j1 = tweak++;
+                // Generator half-gate.
+                Block128 tg = cr_hash(j0, a0) ^ cr_hash(j0, a0 ^ g.delta);
+                if (pb) tg ^= g.delta;
+                Block128 wg = cr_hash(j0, a0);
+                if (pa) wg ^= tg;
+                // Evaluator half-gate.
+                const Block128 te = cr_hash(j1, b0) ^ cr_hash(j1, b0 ^ g.delta) ^ a0;
+                Block128 we = cr_hash(j1, b0);
+                if (pb) we ^= te ^ a0;
+                zero[gate.out] = wg ^ we;
+                g.tables.push_back(tg);
+                g.tables.push_back(te);
+                break;
+            }
+        }
+    }
+
+    g.garbler_zero_labels.assign(zero.begin(),
+                                 zero.begin() + circuit.num_garbler_inputs);
+    g.evaluator_zero_labels.assign(
+        zero.begin() + circuit.num_garbler_inputs,
+        zero.begin() + circuit.num_garbler_inputs + circuit.num_evaluator_inputs);
+    g.output_decode.reserve(circuit.outputs.size());
+    for (const auto w : circuit.outputs)
+        g.output_decode.push_back(static_cast<std::uint8_t>(zero[w].colour()));
+    return g;
+}
+
+std::vector<std::uint8_t> evaluate_garbled(const Circuit& circuit,
+                                           std::span<const Block128> tables,
+                                           std::span<const Block128> active_garbler_labels,
+                                           std::span<const Block128> active_evaluator_labels,
+                                           std::span<const std::uint8_t> output_decode) {
+    require(active_garbler_labels.size() == static_cast<std::size_t>(circuit.num_garbler_inputs),
+            "garbler label count mismatch");
+    require(active_evaluator_labels.size() ==
+                static_cast<std::size_t>(circuit.num_evaluator_inputs),
+            "evaluator label count mismatch");
+    require(tables.size() == circuit.and_count() * 2, "garbled table size mismatch");
+    require(output_decode.size() == circuit.outputs.size(), "output decode size mismatch");
+
+    std::vector<Block128> active(static_cast<std::size_t>(circuit.num_wires));
+    for (std::size_t i = 0; i < active_garbler_labels.size(); ++i) active[i] = active_garbler_labels[i];
+    for (std::size_t i = 0; i < active_evaluator_labels.size(); ++i)
+        active[active_garbler_labels.size() + i] = active_evaluator_labels[i];
+
+    std::uint64_t tweak = 0;
+    std::size_t table_pos = 0;
+    for (const auto& gate : circuit.gates) {
+        switch (gate.kind) {
+            case GateKind::kXor:
+                active[gate.out] = active[gate.in0] ^ active[gate.in1];
+                break;
+            case GateKind::kNot:
+                active[gate.out] = active[gate.in0];
+                break;
+            case GateKind::kAnd: {
+                const Block128 a = active[gate.in0];
+                const Block128 b = active[gate.in1];
+                const bool sa = a.colour();
+                const bool sb = b.colour();
+                const std::uint64_t j0 = tweak++;
+                const std::uint64_t j1 = tweak++;
+                const Block128 tg = tables[table_pos++];
+                const Block128 te = tables[table_pos++];
+                Block128 wg = cr_hash(j0, a);
+                if (sa) wg ^= tg;
+                Block128 we = cr_hash(j1, b);
+                if (sb) we ^= te ^ a;
+                active[gate.out] = wg ^ we;
+                break;
+            }
+        }
+    }
+
+    std::vector<std::uint8_t> out;
+    out.reserve(circuit.outputs.size());
+    for (std::size_t i = 0; i < circuit.outputs.size(); ++i) {
+        const bool colour = active[circuit.outputs[i]].colour();
+        out.push_back(static_cast<std::uint8_t>(colour ^ (output_decode[i] & 1U)));
+    }
+    return out;
+}
+
+}  // namespace c2pi::crypto

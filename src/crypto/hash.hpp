@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file hash.hpp
+/// Hash functions used by the protocols:
+///  * SHA-256 (FIPS 180-4) — commitments, transcript checks, key derivation.
+///  * SipHash-2-4 — fast keyed 64-bit PRF.
+///  * CrHash — the tweakable correlation-robust hash H(i, x) -> Block128
+///    used on the hot paths of garbling and OT extension. Production
+///    implementations use fixed-key AES; offline we build it from two
+///    independently keyed SipHash instances (DESIGN.md §4, substitution 3
+///    documents this swap; the protocol structure is unchanged).
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/block.hpp"
+
+namespace c2pi::crypto {
+
+/// Streaming SHA-256.
+class Sha256 {
+public:
+    Sha256();
+    void update(std::span<const std::uint8_t> data);
+    /// Finalise and return the 32-byte digest. The object must not be
+    /// reused afterwards.
+    [[nodiscard]] std::array<std::uint8_t, 32> finish();
+
+    [[nodiscard]] static std::array<std::uint8_t, 32> digest(std::span<const std::uint8_t> data);
+
+private:
+    void compress(const std::uint8_t block[64]);
+
+    std::uint32_t h_[8];
+    std::uint8_t buffer_[64];
+    std::size_t buffer_len_ = 0;
+    std::uint64_t total_len_ = 0;
+};
+
+/// SipHash-2-4 keyed 64-bit hash (Aumasson & Bernstein).
+[[nodiscard]] std::uint64_t siphash24(const Block128& key, std::span<const std::uint8_t> data);
+
+/// Tweakable correlation-robust hash: H(tweak, x) -> 128-bit block.
+[[nodiscard]] Block128 cr_hash(std::uint64_t tweak, const Block128& x);
+
+/// Hash a block down to a single u64 (used for OT message masking of ring
+/// elements).
+[[nodiscard]] std::uint64_t cr_hash_u64(std::uint64_t tweak, const Block128& x);
+
+}  // namespace c2pi::crypto

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file secret_sharing.hpp
+/// Two-party additive secret sharing over Z_{2^64}: x = <x>_0 + <x>_1.
+/// All PI protocols in this repo maintain activations in this form.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/fixed_point.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace c2pi::crypto {
+
+/// Split each value into two uniformly random additive shares.
+struct SharePair {
+    std::vector<Ring> share0;
+    std::vector<Ring> share1;
+};
+
+[[nodiscard]] inline SharePair share_additive(std::span<const Ring> values, ChaCha20Prg& prg) {
+    SharePair out;
+    out.share0.resize(values.size());
+    out.share1.resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const Ring r = prg.next_u64();
+        out.share0[i] = r;
+        out.share1[i] = values[i] - r;
+    }
+    return out;
+}
+
+[[nodiscard]] inline std::vector<Ring> reconstruct_additive(std::span<const Ring> share0,
+                                                            std::span<const Ring> share1) {
+    std::vector<Ring> out(share0.size());
+    for (std::size_t i = 0; i < share0.size(); ++i) out[i] = share0[i] + share1[i];
+    return out;
+}
+
+/// XOR (boolean) sharing of single bits, stored one bit per byte.
+struct BitSharePair {
+    std::vector<std::uint8_t> share0;
+    std::vector<std::uint8_t> share1;
+};
+
+[[nodiscard]] inline BitSharePair share_bits(std::span<const std::uint8_t> bits, ChaCha20Prg& prg) {
+    BitSharePair out;
+    out.share0 = prg.next_bits(bits.size());
+    out.share1.resize(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) out.share1[i] = bits[i] ^ out.share0[i];
+    return out;
+}
+
+}  // namespace c2pi::crypto

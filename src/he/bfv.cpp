@@ -1,0 +1,314 @@
+#include "he/bfv.hpp"
+
+#include <cmath>
+
+namespace c2pi::he {
+
+namespace {
+/// Signed lift of a ring element into [0, p).
+u64 lift_signed(Ring v, u64 p) {
+    const auto sv = static_cast<std::int64_t>(v);
+    if (sv >= 0) return static_cast<u64>(sv) % p;
+    const u64 mag = static_cast<u64>(-sv) % p;
+    return mag == 0 ? 0 : p - mag;
+}
+}  // namespace
+
+BfvContext::BfvContext(Params params) : params_(params) {
+    require(params_.limbs >= 2 && params_.limbs <= 8, "limb count out of range");
+    require(params_.n >= 16, "ring degree too small");
+    const u64 step = 2 * static_cast<u64>(params_.n);
+    u64 start = (1ULL << 49) + 1;
+    for (int i = 0; i < params_.limbs; ++i) {
+        const u64 p = next_ntt_prime(start, step);
+        primes_.push_back(p);
+        ntt_.emplace_back(p, params_.n);
+        start = p + 2;
+    }
+
+    // Δ = floor(q / 2^64): with ~49-bit primes q has 4*49 = 196 bits; the
+    // division by 2^64 is exactly "drop the lowest 64-bit word" of q.
+    // Compute q as a little-endian multiword integer.
+    std::vector<u64> q_words{1};
+    for (const u64 p : primes_) {
+        std::vector<u64> next(q_words.size() + 1, 0);
+        u128 carry = 0;
+        for (std::size_t w = 0; w < q_words.size(); ++w) {
+            const u128 prod = static_cast<u128>(q_words[w]) * p + carry;
+            next[w] = static_cast<u64>(prod);
+            carry = prod >> 64;
+        }
+        next[q_words.size()] = static_cast<u64>(carry);
+        while (next.size() > 1 && next.back() == 0) next.pop_back();
+        q_words = std::move(next);
+    }
+    require(q_words.size() >= 2, "modulus must exceed 2^64");
+    const std::vector<u64> delta_words(q_words.begin() + 1, q_words.end());
+
+    // Δ mod q_i by multiword Horner reduction.
+    delta_mod_.resize(primes_.size());
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        const u64 p = primes_[i];
+        u64 r = 0;
+        for (std::size_t w = delta_words.size(); w > 0; --w) {
+            const u128 val = (static_cast<u128>(r) << 64) | delta_words[w - 1];
+            r = static_cast<u64>(val % p);
+        }
+        delta_mod_[i] = r;
+    }
+
+    if (params_.limbs >= 4) {
+        const u128 drop = static_cast<u128>(primes_[2]) * primes_[3];
+        for (int i = 0; i < 2; ++i) {
+            const u64 p = primes_[static_cast<std::size_t>(i)];
+            drop_inv_mod_[i] = inv_mod(static_cast<u64>(drop % p), p);
+        }
+    }
+}
+
+RnsPoly BfvContext::zero_poly(int limbs) const {
+    RnsPoly p;
+    p.limbs.assign(static_cast<std::size_t>(limbs), std::vector<u64>(params_.n, 0));
+    return p;
+}
+
+RnsPoly BfvContext::uniform_poly_from_seed(const crypto::Block128& seed, int limbs) const {
+    RnsPoly p = zero_poly(limbs);
+    for (int i = 0; i < limbs; ++i) {
+        crypto::ChaCha20Prg prg(seed, /*nonce=*/0xA0000 + static_cast<std::uint64_t>(i));
+        const u64 q = primes_[static_cast<std::size_t>(i)];
+        const u64 limit = ~0ULL - (~0ULL % q) - 1;  // rejection bound
+        for (std::size_t j = 0; j < params_.n; ++j) {
+            u64 v = prg.next_u64();
+            while (v > limit) v = prg.next_u64();
+            p.limbs[static_cast<std::size_t>(i)][j] = v % q;
+        }
+    }
+    return p;
+}
+
+void BfvContext::poly_ntt(RnsPoly& p) const {
+    require(!p.ntt_form, "poly already in NTT form");
+    for (std::size_t i = 0; i < p.limbs.size(); ++i) ntt_[i].forward(p.limbs[i]);
+    p.ntt_form = true;
+}
+
+void BfvContext::poly_intt(RnsPoly& p) const {
+    require(p.ntt_form, "poly not in NTT form");
+    for (std::size_t i = 0; i < p.limbs.size(); ++i) ntt_[i].inverse(p.limbs[i]);
+    p.ntt_form = false;
+}
+
+SecretKey BfvContext::keygen(crypto::ChaCha20Prg& prg) const {
+    SecretKey sk;
+    sk.s_ntt = zero_poly(params_.limbs);
+    for (std::size_t j = 0; j < params_.n; ++j) {
+        const std::uint64_t bits = prg.next_u64();
+        // P(-1) = P(+1) = 1/4, P(0) = 1/2.
+        const int v = static_cast<int>(bits & 1U) - static_cast<int>((bits >> 1) & 1U);
+        for (std::size_t i = 0; i < primes_.size(); ++i) {
+            sk.s_ntt.limbs[i][j] = v >= 0 ? static_cast<u64>(v) : primes_[i] - 1;
+        }
+    }
+    poly_ntt(sk.s_ntt);
+    return sk;
+}
+
+Ciphertext BfvContext::encrypt(std::span<const Ring> plain, const SecretKey& sk,
+                               crypto::ChaCha20Prg& prg) const {
+    require(plain.size() <= params_.n, "plaintext longer than ring degree");
+    Ciphertext ct;
+    ct.seed = prg.next_block();
+    ct.seed_compressed = true;
+
+    // c1 = a (uniform), sampled in NTT form directly from the seed.
+    RnsPoly a = uniform_poly_from_seed(ct.seed, params_.limbs);
+    a.ntt_form = true;
+
+    // a * s in NTT domain, back to coefficients.
+    RnsPoly as = zero_poly(params_.limbs);
+    as.ntt_form = true;
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        const u64 p = primes_[i];
+        for (std::size_t j = 0; j < params_.n; ++j)
+            as.limbs[i][j] = mul_mod(a.limbs[i][j], sk.s_ntt.limbs[i][j], p);
+    }
+    poly_intt(as);
+
+    // c0 = -(a s) + e + Δ m   (coefficient form).
+    ct.c0 = zero_poly(params_.limbs);
+    for (std::size_t j = 0; j < params_.n; ++j) {
+        const int e = static_cast<int>(prg.next_u64() % (2 * params_.noise_bound + 1)) -
+                      params_.noise_bound;
+        const Ring m = j < plain.size() ? plain[j] : 0;
+        for (std::size_t i = 0; i < primes_.size(); ++i) {
+            const u64 p = primes_[i];
+            u64 v = sub_mod(0, as.limbs[i][j], p);
+            v = add_mod(v, e >= 0 ? static_cast<u64>(e) : p - static_cast<u64>(-e), p);
+            v = add_mod(v, mul_mod(delta_mod_[i], lift_signed(m, p), p), p);
+            ct.c0.limbs[i][j] = v;
+        }
+    }
+
+    // Store c1 in coefficient form so the whole ciphertext is uniform.
+    poly_intt(a);
+    ct.c1 = std::move(a);
+    ct.ntt_form = false;
+    return ct;
+}
+
+std::vector<Ring> BfvContext::decrypt(const Ciphertext& ct, const SecretKey& sk) const {
+    require(!ct.ntt_form, "decrypt expects coefficient form");
+    const int limbs = ct.active_limbs();
+
+    // c(s) = c0 + c1 * s per limb.
+    std::vector<std::vector<u64>> cs(static_cast<std::size_t>(limbs));
+    for (int i = 0; i < limbs; ++i) {
+        const u64 p = primes_[static_cast<std::size_t>(i)];
+        std::vector<u64> c1 = ct.c1.limbs[static_cast<std::size_t>(i)];
+        ntt_[static_cast<std::size_t>(i)].forward(c1);
+        for (std::size_t j = 0; j < params_.n; ++j)
+            c1[j] = mul_mod(c1[j], sk.s_ntt.limbs[static_cast<std::size_t>(i)][j], p);
+        ntt_[static_cast<std::size_t>(i)].inverse(c1);
+        for (std::size_t j = 0; j < params_.n; ++j)
+            c1[j] = add_mod(c1[j], ct.c0.limbs[static_cast<std::size_t>(i)][j], p);
+        cs[static_cast<std::size_t>(i)] = std::move(c1);
+    }
+
+    // m = round(t * c(s) / q) mod t with t = 2^64:
+    //   write c = sum_i y_i * (q / q_i) - h q with y_i = [c_i * qhat_i^{-1}]_{q_i};
+    //   then t c / q = sum_i y_i * 2^64 / q_i  (mod 2^64) since h t ≡ 0.
+    std::vector<u64> qhat_inv(static_cast<std::size_t>(limbs));
+    for (int i = 0; i < limbs; ++i) {
+        const u64 p = primes_[static_cast<std::size_t>(i)];
+        u64 qhat = 1;
+        for (int k = 0; k < limbs; ++k)
+            if (k != i) qhat = mul_mod(qhat, primes_[static_cast<std::size_t>(k)] % p, p);
+        qhat_inv[static_cast<std::size_t>(i)] = inv_mod(qhat, p);
+    }
+
+    std::vector<Ring> out(params_.n);
+    for (std::size_t j = 0; j < params_.n; ++j) {
+        u64 integer_part = 0;
+        long double fraction = 0.0L;
+        for (int i = 0; i < limbs; ++i) {
+            const u64 p = primes_[static_cast<std::size_t>(i)];
+            const u64 y = mul_mod(cs[static_cast<std::size_t>(i)][j],
+                                  qhat_inv[static_cast<std::size_t>(i)], p);
+            const u128 scaled = static_cast<u128>(y) << 64;
+            integer_part += static_cast<u64>(scaled / p);
+            fraction += static_cast<long double>(static_cast<u64>(scaled % p)) /
+                        static_cast<long double>(p);
+        }
+        out[j] = integer_part + static_cast<u64>(llroundl(fraction));
+    }
+    return out;
+}
+
+RnsPoly BfvContext::lift_to_ntt(std::span<const Ring> poly) const {
+    require(poly.size() <= params_.n, "plain poly longer than ring degree");
+    RnsPoly p = zero_poly(params_.limbs);
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        for (std::size_t j = 0; j < poly.size(); ++j)
+            p.limbs[i][j] = lift_signed(poly[j], primes_[i]);
+    }
+    poly_ntt(p);
+    return p;
+}
+
+void BfvContext::to_ntt(Ciphertext& ct) const {
+    require(!ct.ntt_form, "ciphertext already in NTT form");
+    poly_ntt(ct.c0);
+    poly_ntt(ct.c1);
+    ct.ntt_form = true;
+}
+
+void BfvContext::from_ntt(Ciphertext& ct) const {
+    require(ct.ntt_form, "ciphertext not in NTT form");
+    poly_intt(ct.c0);
+    poly_intt(ct.c1);
+    ct.ntt_form = false;
+}
+
+RnsPoly BfvContext::expand_seed_poly(const crypto::Block128& seed, int limbs) const {
+    RnsPoly a = uniform_poly_from_seed(seed, limbs);
+    a.ntt_form = true;  // sampled in the NTT domain by convention
+    poly_intt(a);
+    return a;
+}
+
+Ciphertext BfvContext::make_accumulator() const {
+    Ciphertext acc;
+    acc.c0 = zero_poly(params_.limbs);
+    acc.c1 = zero_poly(params_.limbs);
+    acc.c0.ntt_form = acc.c1.ntt_form = true;
+    acc.ntt_form = true;
+    acc.seed_compressed = false;
+    return acc;
+}
+
+void BfvContext::multiply_plain_accumulate(const Ciphertext& ct_ntt, const RnsPoly& plain_ntt,
+                                           Ciphertext& acc) const {
+    require(ct_ntt.ntt_form && acc.ntt_form && plain_ntt.ntt_form,
+            "multiply_plain_accumulate expects NTT operands");
+    require(ct_ntt.active_limbs() == params_.limbs, "operand must be at fresh modulus");
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        const u64 p = primes_[i];
+        const auto& w = plain_ntt.limbs[i];
+        for (std::size_t j = 0; j < params_.n; ++j) {
+            acc.c0.limbs[i][j] =
+                add_mod(acc.c0.limbs[i][j], mul_mod(ct_ntt.c0.limbs[i][j], w[j], p), p);
+            acc.c1.limbs[i][j] =
+                add_mod(acc.c1.limbs[i][j], mul_mod(ct_ntt.c1.limbs[i][j], w[j], p), p);
+        }
+    }
+}
+
+void BfvContext::add_plain_inplace(Ciphertext& ct, std::span<const Ring> plain) const {
+    require(!ct.ntt_form, "add_plain expects coefficient form");
+    require(ct.active_limbs() == params_.limbs,
+            "add_plain only supported at the fresh modulus (see DESIGN.md §6)");
+    require(plain.size() <= params_.n, "plain poly longer than ring degree");
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        const u64 p = primes_[i];
+        for (std::size_t j = 0; j < plain.size(); ++j) {
+            ct.c0.limbs[i][j] =
+                add_mod(ct.c0.limbs[i][j], mul_mod(delta_mod_[i], lift_signed(plain[j], p), p), p);
+        }
+    }
+    ct.seed_compressed = false;
+}
+
+void BfvContext::mod_switch_to_two_limbs(Ciphertext& ct) const {
+    require(!ct.ntt_form, "mod switch expects coefficient form");
+    require(ct.active_limbs() == 4, "mod switch implemented for 4 -> 2 limbs");
+    const u64 q3 = primes_[2], q4 = primes_[3];
+    const u64 q3_inv_mod_q4 = inv_mod(q3 % q4, q4);
+
+    for (RnsPoly* poly : {&ct.c0, &ct.c1}) {
+        for (std::size_t j = 0; j < params_.n; ++j) {
+            const u64 c3 = poly->limbs[2][j];
+            const u64 c4 = poly->limbs[3][j];
+            // CRT compose the dropped part: v = c3 + q3 * ((c4 - c3) q3^{-1} mod q4).
+            const u64 w = mul_mod(sub_mod(c4 % q4, c3 % q4, q4), q3_inv_mod_q4, q4);
+            const u128 v = static_cast<u128>(c3) + static_cast<u128>(q3) * w;
+            for (int i = 0; i < 2; ++i) {
+                const u64 p = primes_[static_cast<std::size_t>(i)];
+                const u64 v_mod = static_cast<u64>(v % p);
+                poly->limbs[static_cast<std::size_t>(i)][j] =
+                    mul_mod(sub_mod(poly->limbs[static_cast<std::size_t>(i)][j], v_mod, p),
+                            drop_inv_mod_[i], p);
+            }
+        }
+        poly->limbs.resize(2);
+    }
+    ct.seed_compressed = false;
+}
+
+std::size_t BfvContext::serialized_bytes(const Ciphertext& ct) const {
+    const std::size_t per_poly = static_cast<std::size_t>(ct.active_limbs()) * params_.n * 8;
+    const std::size_t c1_bytes = ct.seed_compressed ? 32 : per_poly;
+    return per_poly + c1_bytes;
+}
+
+}  // namespace c2pi::he

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file bfv.hpp
+/// Mini-BFV over an RNS modulus, specialised for the two-party PI linear
+/// layers (SEAL stands in for nothing here — everything is implemented
+/// from scratch; DESIGN.md §4, substitution 3):
+///
+///  * plaintext modulus t = 2^64 == the MPC share ring, so homomorphic
+///    conv results are *exact* ring arithmetic;
+///  * ciphertext modulus q = product of four ~49-bit NTT primes
+///    (q ≈ 2^196, Δ = q/t ≈ 2^132) — enough headroom for VGG-scale
+///    plain-weight convolutions (noise ≈ 2^93, see DESIGN.md §6);
+///  * symmetric encryption only (the client owns the key; the server only
+///    computes ct (+) ct, ct (x) plain, ct (+) plain);
+///  * responses are modulus-switched down to two limbs before shipping;
+///  * fresh ciphertexts are seed-compressed (c1 = 32-byte PRG seed), as
+///    in Cheetah.
+
+#include <vector>
+
+#include "core/fixed_point.hpp"
+#include "crypto/chacha20.hpp"
+#include "he/ntt.hpp"
+
+namespace c2pi::he {
+
+/// Polynomial in RNS representation: limbs[i][j] = coeff j mod prime i.
+struct RnsPoly {
+    std::vector<std::vector<u64>> limbs;
+    bool ntt_form = false;
+
+    [[nodiscard]] int active_limbs() const { return static_cast<int>(limbs.size()); }
+};
+
+struct Ciphertext {
+    RnsPoly c0, c1;
+    bool ntt_form = false;
+    bool seed_compressed = false;   ///< c1 derivable from `seed`
+    crypto::Block128 seed{};
+
+    [[nodiscard]] int active_limbs() const { return c0.active_limbs(); }
+};
+
+struct SecretKey {
+    RnsPoly s_ntt;  ///< ternary secret, NTT form, all limbs
+};
+
+class BfvContext {
+public:
+    struct Params {
+        std::size_t n = 4096;   ///< ring degree (power of two)
+        int limbs = 4;          ///< RNS primes in the fresh modulus
+        int noise_bound = 4;    ///< uniform noise in [-noise_bound, noise_bound]
+    };
+
+    explicit BfvContext(Params params);
+
+    [[nodiscard]] std::size_t n() const { return params_.n; }
+    [[nodiscard]] int fresh_limbs() const { return params_.limbs; }
+    [[nodiscard]] u64 prime(int i) const { return primes_[static_cast<std::size_t>(i)]; }
+
+    // -- keys & encryption ----------------------------------------------------
+    [[nodiscard]] SecretKey keygen(crypto::ChaCha20Prg& prg) const;
+
+    /// Encrypt a plaintext polynomial (coefficients in Z_{2^64}; at most n
+    /// of them, zero padded). Result is in coefficient form, fresh limbs,
+    /// seed-compressed.
+    [[nodiscard]] Ciphertext encrypt(std::span<const Ring> plain, const SecretKey& sk,
+                                     crypto::ChaCha20Prg& prg) const;
+
+    /// Decrypt to n plaintext coefficients in Z_{2^64}.
+    [[nodiscard]] std::vector<Ring> decrypt(const Ciphertext& ct, const SecretKey& sk) const;
+
+    // -- homomorphic ops --------------------------------------------------------
+    /// Lift an integer polynomial (signed interpretation of Ring values)
+    /// to NTT form over the fresh modulus — used for weight plaintexts.
+    [[nodiscard]] RnsPoly lift_to_ntt(std::span<const Ring> poly) const;
+
+    void to_ntt(Ciphertext& ct) const;
+    void from_ntt(Ciphertext& ct) const;
+
+    /// Zero accumulator in NTT form over the fresh modulus.
+    [[nodiscard]] Ciphertext make_accumulator() const;
+    /// acc += ct * plain_ntt (all operands NTT form, fresh limbs).
+    void multiply_plain_accumulate(const Ciphertext& ct_ntt, const RnsPoly& plain_ntt,
+                                   Ciphertext& acc) const;
+
+    /// c0 += Δ * plain   (coefficient form). Used by the server to fold
+    /// its own plaintext contribution / fresh share mask into a response.
+    void add_plain_inplace(Ciphertext& ct, std::span<const Ring> plain) const;
+
+    /// Drop to the first two limbs with rounding (response compression).
+    void mod_switch_to_two_limbs(Ciphertext& ct) const;
+
+    /// Re-derive the c1 polynomial of a seed-compressed ciphertext
+    /// (coefficient form), exactly as encrypt() produced it.
+    [[nodiscard]] RnsPoly expand_seed_poly(const crypto::Block128& seed, int limbs) const;
+
+    // -- traffic accounting -------------------------------------------------------
+    /// Serialized size: per-limb 8 bytes per coefficient per polynomial;
+    /// seed-compressed fresh ciphertexts replace c1 with 32 bytes.
+    [[nodiscard]] std::size_t serialized_bytes(const Ciphertext& ct) const;
+
+    // exposed for tests
+    [[nodiscard]] u64 delta_mod(int limb) const { return delta_mod_[static_cast<std::size_t>(limb)]; }
+
+private:
+    [[nodiscard]] RnsPoly zero_poly(int limbs) const;
+    [[nodiscard]] RnsPoly uniform_poly_from_seed(const crypto::Block128& seed, int limbs) const;
+    void poly_ntt(RnsPoly& p) const;
+    void poly_intt(RnsPoly& p) const;
+
+    Params params_;
+    std::vector<u64> primes_;
+    std::vector<NttTables> ntt_;
+    std::vector<u64> delta_mod_;          ///< Δ mod q_i (fresh modulus)
+    std::vector<u64> delta2_mod_;         ///< Δ' = floor(q1q2 / t) mod q_i, i<2
+    u64 drop_inv_mod_[2] = {};            ///< (q3 q4)^{-1} mod q_i for the switch
+};
+
+}  // namespace c2pi::he

@@ -1,0 +1,51 @@
+#include "he/modmath.hpp"
+
+namespace c2pi::he {
+
+bool is_prime(u64 n) {
+    if (n < 2) return false;
+    for (const u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL}) {
+        if (n % p == 0) return n == p;
+    }
+    u64 d = n - 1;
+    int r = 0;
+    while ((d & 1U) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // These witnesses are sufficient for all n < 3.3e24 (Sorenson & Webster).
+    for (const u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        u64 x = pow_mod(a, d, n);
+        if (x == 1 || x == n - 1) continue;
+        bool composite = true;
+        for (int i = 0; i < r - 1; ++i) {
+            x = mul_mod(x, x, n);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite) return false;
+    }
+    return true;
+}
+
+u64 next_ntt_prime(u64 start, u64 modulus_step) {
+    u64 candidate = start - (start % modulus_step) + 1;
+    if (candidate < start) candidate += modulus_step;
+    while (!is_prime(candidate)) candidate += modulus_step;
+    return candidate;
+}
+
+u64 find_primitive_root(u64 p, u64 two_n) {
+    require((p - 1) % two_n == 0, "p-1 must be divisible by 2n");
+    const u64 cofactor = (p - 1) / two_n;
+    for (u64 g = 2;; ++g) {
+        const u64 psi = pow_mod(g, cofactor, p);
+        // psi has order dividing 2n; it is primitive iff psi^n == -1.
+        if (pow_mod(psi, two_n / 2, p) == p - 1) return psi;
+        require(g < 1000, "no primitive root found (non-prime modulus?)");
+    }
+}
+
+}  // namespace c2pi::he

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file modmath.hpp
+/// 64-bit modular arithmetic for the RNS-BFV scheme: __int128 mul-mod,
+/// Shoup-precomputed twiddle multiplication, Miller-Rabin primality, and
+/// NTT-friendly prime generation (p ≡ 1 mod 2n).
+
+#include <cstdint>
+
+#include "core/error.hpp"
+
+namespace c2pi::he {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+[[nodiscard]] inline u64 add_mod(u64 a, u64 b, u64 p) {
+    const u64 s = a + b;  // p < 2^63 so no overflow
+    return s >= p ? s - p : s;
+}
+
+[[nodiscard]] inline u64 sub_mod(u64 a, u64 b, u64 p) { return a >= b ? a - b : a + p - b; }
+
+[[nodiscard]] inline u64 mul_mod(u64 a, u64 b, u64 p) {
+    return static_cast<u64>((static_cast<u128>(a) * b) % p);
+}
+
+/// Shoup multiplication: w_shoup = floor(w * 2^64 / p) precomputed; then
+/// a*w mod p costs one high-mul and one low-mul (no division).
+[[nodiscard]] inline u64 shoup_precompute(u64 w, u64 p) {
+    return static_cast<u64>((static_cast<u128>(w) << 64) / p);
+}
+
+[[nodiscard]] inline u64 mul_mod_shoup(u64 a, u64 w, u64 w_shoup, u64 p) {
+    const u64 q = static_cast<u64>((static_cast<u128>(a) * w_shoup) >> 64);
+    const u64 r = a * w - q * p;  // in [0, 2p)
+    return r >= p ? r - p : r;
+}
+
+[[nodiscard]] inline u64 pow_mod(u64 base, u64 exp, u64 p) {
+    u64 result = 1;
+    base %= p;
+    while (exp > 0) {
+        if (exp & 1U) result = mul_mod(result, base, p);
+        base = mul_mod(base, base, p);
+        exp >>= 1;
+    }
+    return result;
+}
+
+/// Inverse modulo prime p (Fermat).
+[[nodiscard]] inline u64 inv_mod(u64 a, u64 p) {
+    require(a % p != 0, "inverse of zero");
+    return pow_mod(a, p - 2, p);
+}
+
+/// Deterministic Miller-Rabin, valid for all 64-bit integers.
+[[nodiscard]] bool is_prime(u64 n);
+
+/// Smallest prime p >= start with p ≡ 1 (mod modulus_step).
+[[nodiscard]] u64 next_ntt_prime(u64 start, u64 modulus_step);
+
+/// A primitive 2n-th root of unity mod p (requires 2n | p-1).
+[[nodiscard]] u64 find_primitive_root(u64 p, u64 two_n);
+
+}  // namespace c2pi::he

@@ -1,0 +1,92 @@
+#include "he/ntt.hpp"
+
+namespace c2pi::he {
+
+namespace {
+std::size_t bit_reverse(std::size_t x, int bits) {
+    std::size_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1U);
+        x >>= 1;
+    }
+    return r;
+}
+}  // namespace
+
+NttTables::NttTables(u64 prime, std::size_t n) : prime_(prime), n_(n) {
+    require(n >= 2 && (n & (n - 1)) == 0, "NTT size must be a power of two");
+    require((prime - 1) % (2 * n) == 0, "prime must be 1 mod 2n");
+    int log_n = 0;
+    while ((std::size_t{1} << log_n) < n) ++log_n;
+
+    const u64 psi = find_primitive_root(prime, 2 * static_cast<u64>(n));
+    const u64 ipsi = inv_mod(psi, prime);
+
+    psi_rev_.resize(n);
+    ipsi_rev_.resize(n);
+    u64 power = 1, ipower = 1;
+    std::vector<u64> psi_powers(n), ipsi_powers(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        psi_powers[i] = power;
+        ipsi_powers[i] = ipower;
+        power = mul_mod(power, psi, prime);
+        ipower = mul_mod(ipower, ipsi, prime);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        psi_rev_[i] = psi_powers[bit_reverse(i, log_n)];
+        ipsi_rev_[i] = ipsi_powers[bit_reverse(i, log_n)];
+    }
+    psi_rev_shoup_.resize(n);
+    ipsi_rev_shoup_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        psi_rev_shoup_[i] = shoup_precompute(psi_rev_[i], prime);
+        ipsi_rev_shoup_[i] = shoup_precompute(ipsi_rev_[i], prime);
+    }
+    n_inv_ = inv_mod(static_cast<u64>(n), prime);
+    n_inv_shoup_ = shoup_precompute(n_inv_, prime);
+}
+
+void NttTables::forward(std::vector<u64>& a) const {
+    require(a.size() == n_, "NTT operand size mismatch");
+    const u64 p = prime_;
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j1 = 2 * i * t;
+            const u64 s = psi_rev_[m + i];
+            const u64 s_shoup = psi_rev_shoup_[m + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = mul_mod_shoup(a[j + t], s, s_shoup, p);
+                a[j] = add_mod(u, v, p);
+                a[j + t] = sub_mod(u, v, p);
+            }
+        }
+    }
+}
+
+void NttTables::inverse(std::vector<u64>& a) const {
+    require(a.size() == n_, "NTT operand size mismatch");
+    const u64 p = prime_;
+    std::size_t t = 1;
+    for (std::size_t m = n_; m > 1; m >>= 1) {
+        std::size_t j1 = 0;
+        const std::size_t h = m >> 1;
+        for (std::size_t i = 0; i < h; ++i) {
+            const u64 s = ipsi_rev_[h + i];
+            const u64 s_shoup = ipsi_rev_shoup_[h + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = a[j + t];
+                a[j] = add_mod(u, v, p);
+                a[j + t] = mul_mod_shoup(sub_mod(u, v, p), s, s_shoup, p);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (auto& coeff : a) coeff = mul_mod_shoup(coeff, n_inv_, n_inv_shoup_, p);
+}
+
+}  // namespace c2pi::he

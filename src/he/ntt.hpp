@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file ntt.hpp
+/// Negacyclic number-theoretic transform over Z_p[X]/(X^n + 1) with
+/// Shoup-precomputed twiddles (Longa-Naehrig iteration order). Forward
+/// maps natural order to bit-reversed; inverse undoes it; pointwise
+/// multiplication between two forward-transformed polys yields the
+/// negacyclic product after the inverse transform.
+
+#include <vector>
+
+#include "he/modmath.hpp"
+
+namespace c2pi::he {
+
+class NttTables {
+public:
+    NttTables(u64 prime, std::size_t n);
+
+    [[nodiscard]] u64 prime() const { return prime_; }
+    [[nodiscard]] std::size_t n() const { return n_; }
+
+    /// In-place forward negacyclic NTT (natural -> bit-reversed order).
+    void forward(std::vector<u64>& a) const;
+    /// In-place inverse (bit-reversed -> natural order), scales by n^{-1}.
+    void inverse(std::vector<u64>& a) const;
+
+private:
+    u64 prime_;
+    std::size_t n_;
+    std::vector<u64> psi_rev_, psi_rev_shoup_;    ///< bit-reversed powers of psi
+    std::vector<u64> ipsi_rev_, ipsi_rev_shoup_;  ///< bit-reversed powers of psi^{-1}
+    u64 n_inv_, n_inv_shoup_;
+};
+
+}  // namespace c2pi::he

@@ -1,0 +1,132 @@
+#include "metrics/ssim.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace c2pi::metrics {
+
+namespace {
+
+/// Normalised 1-D Gaussian taps for a window of side `n`.
+std::vector<double> gaussian_kernel(std::int64_t n, float sigma) {
+    std::vector<double> k(static_cast<std::size_t>(n));
+    const double c = (static_cast<double>(n) - 1.0) / 2.0;
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(i) - c;
+        k[static_cast<std::size_t>(i)] = std::exp(-(d * d) / (2.0 * sigma * sigma));
+        total += k[static_cast<std::size_t>(i)];
+    }
+    for (auto& v : k) v /= total;
+    return k;
+}
+
+struct ImageView {
+    const float* data;
+    std::int64_t channels, height, width;
+    [[nodiscard]] double at(std::int64_t c, std::int64_t y, std::int64_t x) const {
+        return data[(c * height + y) * width + x];
+    }
+};
+
+ImageView as_image(const Tensor& t) {
+    if (t.rank() == 4) {
+        require(t.dim(0) == 1, "ssim expects a single image");
+        return {t.data(), t.dim(1), t.dim(2), t.dim(3)};
+    }
+    require(t.rank() == 3, "ssim expects [C,H,W] or [1,C,H,W]");
+    return {t.data(), t.dim(0), t.dim(1), t.dim(2)};
+}
+
+/// Windowed Gaussian-weighted mean of f(y, x) centered at (cy, cx),
+/// clamping taps at the border (replicate padding).
+template <typename F>
+double window_mean(const std::vector<double>& kern, std::int64_t h, std::int64_t w,
+                   std::int64_t cy, std::int64_t cx, F&& f) {
+    const std::int64_t n = static_cast<std::int64_t>(kern.size());
+    const std::int64_t half = n / 2;
+    double acc = 0.0;
+    for (std::int64_t dy = 0; dy < n; ++dy) {
+        std::int64_t y = cy + dy - half;
+        y = std::min(std::max<std::int64_t>(y, 0), h - 1);
+        for (std::int64_t dx = 0; dx < n; ++dx) {
+            std::int64_t x = cx + dx - half;
+            x = std::min(std::max<std::int64_t>(x, 0), w - 1);
+            acc += kern[static_cast<std::size_t>(dy)] * kern[static_cast<std::size_t>(dx)] * f(y, x);
+        }
+    }
+    return acc;
+}
+
+}  // namespace
+
+double ssim(const Tensor& a, const Tensor& b, const SsimOptions& opt) {
+    require(a.same_shape(b), "ssim requires identical shapes");
+    require(opt.window % 2 == 1 && opt.window >= 3, "ssim window must be odd and >= 3");
+    const ImageView ia = as_image(a);
+    const ImageView ib = as_image(b);
+    const auto kern = gaussian_kernel(opt.window, opt.sigma);
+
+    const double c1 = (opt.k1 * opt.dynamic_range) * (opt.k1 * opt.dynamic_range);
+    const double c2 = (opt.k2 * opt.dynamic_range) * (opt.k2 * opt.dynamic_range);
+
+    double total = 0.0;
+    std::int64_t count = 0;
+    for (std::int64_t ch = 0; ch < ia.channels; ++ch) {
+        for (std::int64_t y = 0; y < ia.height; ++y) {
+            for (std::int64_t x = 0; x < ia.width; ++x) {
+                const double mu_a = window_mean(kern, ia.height, ia.width, y, x,
+                                                [&](auto yy, auto xx) { return ia.at(ch, yy, xx); });
+                const double mu_b = window_mean(kern, ia.height, ia.width, y, x,
+                                                [&](auto yy, auto xx) { return ib.at(ch, yy, xx); });
+                const double aa = window_mean(kern, ia.height, ia.width, y, x, [&](auto yy, auto xx) {
+                    const double v = ia.at(ch, yy, xx);
+                    return v * v;
+                });
+                const double bb = window_mean(kern, ia.height, ia.width, y, x, [&](auto yy, auto xx) {
+                    const double v = ib.at(ch, yy, xx);
+                    return v * v;
+                });
+                const double ab = window_mean(kern, ia.height, ia.width, y, x, [&](auto yy, auto xx) {
+                    return ia.at(ch, yy, xx) * ib.at(ch, yy, xx);
+                });
+                const double var_a = aa - mu_a * mu_a;
+                const double var_b = bb - mu_b * mu_b;
+                const double cov = ab - mu_a * mu_b;
+                const double num = (2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2);
+                const double den = (mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2);
+                total += num / den;
+                ++count;
+            }
+        }
+    }
+    return total / static_cast<double>(count);
+}
+
+double psnr(const Tensor& a, const Tensor& b) {
+    require(a.same_shape(b), "psnr requires identical shapes");
+    double mse = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        mse += d * d;
+    }
+    mse /= static_cast<double>(a.numel());
+    if (mse <= 0.0) return 99.0;  // identical images: conventional cap
+    return 10.0 * std::log10(1.0 / mse);
+}
+
+double top1_accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+    require(logits.rank() == 2, "top1_accuracy expects [batch, classes]");
+    const std::int64_t n = logits.dim(0), k = logits.dim(1);
+    require(static_cast<std::int64_t>(labels.size()) == n, "label count mismatch");
+    std::int64_t correct = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t best = 0;
+        for (std::int64_t j = 1; j < k; ++j)
+            if (logits.at(i, j) > logits.at(i, best)) best = j;
+        if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace c2pi::metrics

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file ssim.hpp
+/// Structural similarity index (SSIM), Wang et al., IEEE TIP 2004 — the
+/// metric the paper uses to decide whether an IDPA "succeeded" (the paper
+/// uses failure threshold 0.3). Also PSNR for reference.
+///
+/// Images are CHW or NCHW tensors with values in [0, 1]; SSIM is computed
+/// per channel with a Gaussian sliding window and averaged. The default
+/// window is 7x7 / sigma 1.5 because the reproduction works on 16x16
+/// synthetic images (the canonical 11x11 window barely fits); the window
+/// size is a parameter so 32x32 runs can use 11.
+
+#include "tensor/tensor.hpp"
+
+namespace c2pi::metrics {
+
+struct SsimOptions {
+    std::int64_t window = 7;   ///< Gaussian window side (odd)
+    float sigma = 1.5F;        ///< Gaussian window stddev
+    float k1 = 0.01F;          ///< stabilisation constant (luminance)
+    float k2 = 0.03F;          ///< stabilisation constant (contrast)
+    float dynamic_range = 1.0F;
+};
+
+/// Mean SSIM between two images of identical shape ([C,H,W] or [1,C,H,W]).
+/// Returns a value in [-1, 1]; 1 iff the images are identical.
+[[nodiscard]] double ssim(const Tensor& a, const Tensor& b, const SsimOptions& opt = {});
+
+/// Peak signal-to-noise ratio in dB (dynamic range 1.0).
+[[nodiscard]] double psnr(const Tensor& a, const Tensor& b);
+
+/// Top-1 accuracy of logits[n, classes] against labels.
+[[nodiscard]] double top1_accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace c2pi::metrics

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file context.hpp
+/// Per-party protocol state shared by every secure-layer protocol: the
+/// transport endpoint, fixed-point format, BFV context (with the client's
+/// secret key), local randomness, and both directions of IKNP OT
+/// extension. Party 0 is always the server (model owner), party 1 the
+/// client (input owner).
+
+#include <memory>
+#include <optional>
+
+#include "crypto/ot.hpp"
+#include "he/bfv.hpp"
+#include "net/channel.hpp"
+
+namespace c2pi::mpc {
+
+inline constexpr int kServer = 0;
+inline constexpr int kClient = 1;
+
+class PartyContext {
+public:
+    /// `session_seed` must be shared by both parties (it seeds the base-OT
+    /// dealer); per-party secret randomness is derived from party id.
+    PartyContext(net::Transport& transport, const FixedPointFormat& fmt,
+                 const he::BfvContext& bfv, const crypto::Block128& session_seed)
+        : transport_(&transport),
+          fmt_(fmt),
+          bfv_(&bfv),
+          prg_(crypto::Block128{session_seed.lo ^ 0x5EC4E7ULL * (transport.party_id() + 1),
+                                session_seed.hi ^ 0x9D0FULL},
+               /*nonce=*/static_cast<std::uint64_t>(transport.party_id()) + 100) {
+        // Two base-OT setups, one per sender direction. Both parties derive
+        // them deterministically from the session seed (trusted-dealer
+        // substitution, DESIGN.md §4); the replaced Naor-Pinkas traffic is
+        // charged to whoever first touches the channel in setup_charged().
+        const auto setup_a = crypto::dealer_base_ots(
+            crypto::Block128{session_seed.lo ^ 0xA, session_seed.hi});
+        const auto setup_b = crypto::dealer_base_ots(
+            crypto::Block128{session_seed.lo ^ 0xB, session_seed.hi});
+        if (transport.party_id() == kServer) {
+            ot_sender_.emplace(setup_a.sender);
+            ot_receiver_.emplace(setup_b.receiver);
+        } else {
+            ot_receiver_.emplace(setup_a.receiver);
+            ot_sender_.emplace(setup_b.sender);
+        }
+    }
+
+    [[nodiscard]] int party() const { return transport_->party_id(); }
+    [[nodiscard]] bool is_server() const { return party() == kServer; }
+    [[nodiscard]] net::Transport& transport() { return *transport_; }
+    [[nodiscard]] const FixedPointFormat& fmt() const { return fmt_; }
+    [[nodiscard]] const he::BfvContext& bfv() const { return *bfv_; }
+    [[nodiscard]] crypto::ChaCha20Prg& prg() { return prg_; }
+
+    /// OT endpoint where this party plays extension sender.
+    [[nodiscard]] crypto::IknpSender& ot_sender() { return *ot_sender_; }
+    /// OT endpoint where this party plays extension receiver.
+    [[nodiscard]] crypto::IknpReceiver& ot_receiver() { return *ot_receiver_; }
+
+    /// The client's BFV secret key (client only).
+    void set_client_key(he::SecretKey key) { client_key_ = std::move(key); }
+    [[nodiscard]] const he::SecretKey& client_key() const {
+        require(client_key_.has_value(), "client key not set on this party");
+        return *client_key_;
+    }
+
+private:
+    net::Transport* transport_;
+    FixedPointFormat fmt_;
+    const he::BfvContext* bfv_;
+    crypto::ChaCha20Prg prg_;
+    std::optional<crypto::IknpSender> ot_sender_;
+    std::optional<crypto::IknpReceiver> ot_receiver_;
+    std::optional<he::SecretKey> client_key_;
+};
+
+}  // namespace c2pi::mpc

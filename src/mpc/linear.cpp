@@ -1,0 +1,192 @@
+#include "mpc/linear.hpp"
+
+#include <cstring>
+
+namespace c2pi::mpc {
+
+namespace {
+
+/// Wire format: [limbs u32][flags u32][seed 16B] then c0 limbs, then c1
+/// limbs unless seed-compressed. Flag bit 0: seed-compressed.
+void send_ciphertext(net::Transport& t, const he::BfvContext& bfv, const he::Ciphertext& ct) {
+    require(!ct.ntt_form, "ciphertexts travel in coefficient form");
+    const std::size_t n = bfv.n();
+    const int limbs = ct.active_limbs();
+    const std::size_t c1_words = ct.seed_compressed ? 0 : static_cast<std::size_t>(limbs) * n;
+    std::vector<std::uint8_t> payload(24 + (static_cast<std::size_t>(limbs) * n + c1_words) * 8);
+    std::uint32_t header[2] = {static_cast<std::uint32_t>(limbs),
+                               static_cast<std::uint32_t>(ct.seed_compressed ? 1 : 0)};
+    std::memcpy(payload.data(), header, 8);
+    ct.seed.to_bytes(payload.data() + 8);
+    std::size_t off = 24;
+    for (int i = 0; i < limbs; ++i) {
+        std::memcpy(payload.data() + off, ct.c0.limbs[static_cast<std::size_t>(i)].data(), n * 8);
+        off += n * 8;
+    }
+    if (!ct.seed_compressed) {
+        for (int i = 0; i < limbs; ++i) {
+            std::memcpy(payload.data() + off, ct.c1.limbs[static_cast<std::size_t>(i)].data(), n * 8);
+            off += n * 8;
+        }
+    }
+    t.send_bytes(payload);
+}
+
+[[nodiscard]] he::Ciphertext recv_ciphertext(net::Transport& t, const he::BfvContext& bfv) {
+    const auto payload = t.recv_bytes();
+    require(payload.size() >= 24, "ciphertext payload too small");
+    std::uint32_t header[2];
+    std::memcpy(header, payload.data(), 8);
+    const int limbs = static_cast<int>(header[0]);
+    const bool seeded = (header[1] & 1U) != 0;
+    const std::size_t n = bfv.n();
+
+    he::Ciphertext ct;
+    ct.seed = crypto::Block128::from_bytes(payload.data() + 8);
+    ct.seed_compressed = seeded;
+    ct.c0.limbs.assign(static_cast<std::size_t>(limbs), std::vector<he::u64>(n));
+    std::size_t off = 24;
+    for (int i = 0; i < limbs; ++i) {
+        std::memcpy(ct.c0.limbs[static_cast<std::size_t>(i)].data(), payload.data() + off, n * 8);
+        off += n * 8;
+    }
+    if (seeded) {
+        // Re-derive c1 from the seed exactly as encrypt() did: uniform in
+        // NTT form, then back to coefficients.
+        ct.c1 = bfv.expand_seed_poly(ct.seed, limbs);
+    } else {
+        ct.c1.limbs.assign(static_cast<std::size_t>(limbs), std::vector<he::u64>(n));
+        for (int i = 0; i < limbs; ++i) {
+            std::memcpy(ct.c1.limbs[static_cast<std::size_t>(i)].data(), payload.data() + off, n * 8);
+            off += n * 8;
+        }
+    }
+    require(off == payload.size(), "ciphertext payload size mismatch");
+    return ct;
+}
+
+}  // namespace
+
+std::vector<Ring> he_conv_server(PartyContext& ctx, const he::ConvGeometry& geo,
+                                 std::span<const Ring> weights, std::span<const Ring> bias2f,
+                                 std::span<const Ring> x_share) {
+    const he::BfvContext& bfv = ctx.bfv();
+    const he::ConvEncoder enc(bfv, geo);
+    const std::int64_t out_pixels = geo.out_h() * geo.out_w();
+
+    // Receive the client's encrypted input groups.
+    std::vector<he::Ciphertext> input_cts;
+    input_cts.reserve(static_cast<std::size_t>(enc.num_groups()));
+    for (std::int64_t g = 0; g < enc.num_groups(); ++g) {
+        he::Ciphertext ct = recv_ciphertext(ctx.transport(), bfv);
+        bfv.to_ntt(ct);
+        input_cts.push_back(std::move(ct));
+    }
+
+    // Plain contribution of the server's own share (exact ring conv).
+    const auto plain_part = ring_conv2d(geo, x_share, weights);
+
+    std::vector<Ring> out_share(static_cast<std::size_t>(geo.out_channels * out_pixels));
+    for (std::int64_t o = 0; o < geo.out_channels; ++o) {
+        he::Ciphertext acc = bfv.make_accumulator();
+        for (std::int64_t g = 0; g < enc.num_groups(); ++g) {
+            bfv.multiply_plain_accumulate(input_cts[static_cast<std::size_t>(g)],
+                                          bfv.lift_to_ntt(enc.encode_weight(weights, g, o)), acc);
+        }
+        bfv.from_ntt(acc);
+
+        // Fresh mask r: client will end with conv(x_c) - r; the server's
+        // share is conv(x_s) + bias + r.
+        std::vector<Ring> mask(static_cast<std::size_t>(out_pixels));
+        for (std::int64_t i = 0; i < out_pixels; ++i) {
+            const Ring r = ctx.prg().next_u64();
+            mask[static_cast<std::size_t>(i)] = Ring{0} - r;
+            Ring server_val = plain_part[static_cast<std::size_t>(o * out_pixels + i)] + r;
+            if (!bias2f.empty()) server_val += bias2f[static_cast<std::size_t>(o)];
+            out_share[static_cast<std::size_t>(o * out_pixels + i)] = server_val;
+        }
+        bfv.add_plain_inplace(acc, enc.scatter_outputs(mask));
+        bfv.mod_switch_to_two_limbs(acc);
+        send_ciphertext(ctx.transport(), bfv, acc);
+    }
+    return out_share;
+}
+
+std::vector<Ring> he_conv_client(PartyContext& ctx, const he::ConvGeometry& geo,
+                                 std::span<const Ring> x_share) {
+    const he::BfvContext& bfv = ctx.bfv();
+    const he::ConvEncoder enc(bfv, geo);
+    const std::int64_t out_pixels = geo.out_h() * geo.out_w();
+
+    for (std::int64_t g = 0; g < enc.num_groups(); ++g) {
+        const he::Ciphertext ct =
+            bfv.encrypt(enc.encode_input_group(x_share, g), ctx.client_key(), ctx.prg());
+        send_ciphertext(ctx.transport(), bfv, ct);
+    }
+
+    std::vector<Ring> out_share(static_cast<std::size_t>(geo.out_channels * out_pixels));
+    for (std::int64_t o = 0; o < geo.out_channels; ++o) {
+        const he::Ciphertext response = recv_ciphertext(ctx.transport(), bfv);
+        const auto poly = bfv.decrypt(response, ctx.client_key());
+        const auto vals = enc.gather_outputs(poly);
+        std::copy(vals.begin(), vals.end(),
+                  out_share.begin() + static_cast<std::ptrdiff_t>(o * out_pixels));
+    }
+    return out_share;
+}
+
+std::vector<Ring> he_matvec_server(PartyContext& ctx, std::int64_t in, std::int64_t out,
+                                   std::span<const Ring> weights, std::span<const Ring> bias2f,
+                                   std::span<const Ring> x_share) {
+    const he::BfvContext& bfv = ctx.bfv();
+    const he::MatVecEncoder enc(bfv, in, out);
+
+    he::Ciphertext input_ct = recv_ciphertext(ctx.transport(), bfv);
+    bfv.to_ntt(input_ct);
+
+    const auto plain_part = ring_matvec(weights, x_share, in, out);
+    std::vector<Ring> out_share(static_cast<std::size_t>(out));
+    for (std::int64_t b = 0; b < enc.num_blocks(); ++b) {
+        he::Ciphertext acc = bfv.make_accumulator();
+        bfv.multiply_plain_accumulate(input_ct, bfv.lift_to_ntt(enc.encode_weight_block(weights, b)),
+                                      acc);
+        bfv.from_ntt(acc);
+
+        const std::int64_t rows =
+            std::min(enc.outs_per_block(), out - b * enc.outs_per_block());
+        std::vector<Ring> mask(static_cast<std::size_t>(rows));
+        for (std::int64_t r = 0; r < rows; ++r) {
+            const std::int64_t row = b * enc.outs_per_block() + r;
+            const Ring rv = ctx.prg().next_u64();
+            mask[static_cast<std::size_t>(r)] = Ring{0} - rv;
+            Ring server_val = plain_part[static_cast<std::size_t>(row)] + rv;
+            if (!bias2f.empty()) server_val += bias2f[static_cast<std::size_t>(row)];
+            out_share[static_cast<std::size_t>(row)] = server_val;
+        }
+        bfv.add_plain_inplace(acc, enc.scatter_outputs(mask, b));
+        bfv.mod_switch_to_two_limbs(acc);
+        send_ciphertext(ctx.transport(), bfv, acc);
+    }
+    return out_share;
+}
+
+std::vector<Ring> he_matvec_client(PartyContext& ctx, std::int64_t in, std::int64_t out,
+                                   std::span<const Ring> x_share) {
+    const he::BfvContext& bfv = ctx.bfv();
+    const he::MatVecEncoder enc(bfv, in, out);
+
+    const he::Ciphertext ct = bfv.encrypt(enc.encode_input(x_share), ctx.client_key(), ctx.prg());
+    send_ciphertext(ctx.transport(), bfv, ct);
+
+    std::vector<Ring> out_share(static_cast<std::size_t>(out));
+    for (std::int64_t b = 0; b < enc.num_blocks(); ++b) {
+        const he::Ciphertext response = recv_ciphertext(ctx.transport(), bfv);
+        const auto poly = bfv.decrypt(response, ctx.client_key());
+        const auto vals = enc.gather_outputs(poly, b);
+        std::copy(vals.begin(), vals.end(),
+                  out_share.begin() + static_cast<std::ptrdiff_t>(b * enc.outs_per_block()));
+    }
+    return out_share;
+}
+
+}  // namespace c2pi::mpc

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file linear.hpp
+/// HE-based secure linear layers over additive shares (the Cheetah linear
+/// protocol; the Delphi offline pair generation is the same protocol with
+/// the server's share zeroed — see DESIGN.md §6).
+///
+/// Protocol (conv): the client encrypts its input share group-by-group;
+/// the server homomorphically convolves with its plaintext weights, folds
+/// in its own share's plain convolution, the bias and a fresh random mask
+/// -r, mod-switches and replies. The client decrypts its new share; the
+/// server's new share is r (plus its plain contribution). Outputs carry
+/// fixed-point scale 2f and must be truncated by the caller.
+
+#include "mpc/context.hpp"
+#include "mpc/ring_ops.hpp"
+
+namespace c2pi::mpc {
+
+/// Server side of the secure convolution. `weights` are ring-encoded
+/// [O,C,k,k], `bias2f` (may be empty) is per-output-channel at scale 2^2f.
+/// `x_share` is the server's input share ([C,H,W]); returns the server's
+/// output share ([O,OH,OW] flattened).
+[[nodiscard]] std::vector<Ring> he_conv_server(PartyContext& ctx, const he::ConvGeometry& geo,
+                                               std::span<const Ring> weights,
+                                               std::span<const Ring> bias2f,
+                                               std::span<const Ring> x_share);
+
+/// Client side; `x_share` is the client's input share.
+[[nodiscard]] std::vector<Ring> he_conv_client(PartyContext& ctx, const he::ConvGeometry& geo,
+                                               std::span<const Ring> x_share);
+
+/// Fully-connected counterpart: weights [out,in] row-major.
+[[nodiscard]] std::vector<Ring> he_matvec_server(PartyContext& ctx, std::int64_t in,
+                                                 std::int64_t out, std::span<const Ring> weights,
+                                                 std::span<const Ring> bias2f,
+                                                 std::span<const Ring> x_share);
+[[nodiscard]] std::vector<Ring> he_matvec_client(PartyContext& ctx, std::int64_t in,
+                                                 std::int64_t out, std::span<const Ring> x_share);
+
+}  // namespace c2pi::mpc

@@ -1,0 +1,52 @@
+#include "mpc/ring_ops.hpp"
+
+namespace c2pi::mpc {
+
+std::vector<Ring> ring_conv2d(const he::ConvGeometry& g, std::span<const Ring> x,
+                              std::span<const Ring> w) {
+    require(x.size() == static_cast<std::size_t>(g.in_channels * g.height * g.width),
+            "ring_conv2d input size mismatch");
+    require(w.size() == static_cast<std::size_t>(g.out_channels * g.in_channels * g.kernel * g.kernel),
+            "ring_conv2d weight size mismatch");
+    const std::int64_t oh = g.out_h(), ow = g.out_w();
+    std::vector<Ring> y(static_cast<std::size_t>(g.out_channels * oh * ow), 0);
+    for (std::int64_t o = 0; o < g.out_channels; ++o) {
+        for (std::int64_t c = 0; c < g.in_channels; ++c) {
+            const Ring* wbase =
+                w.data() + static_cast<std::size_t>((o * g.in_channels + c) * g.kernel * g.kernel);
+            const Ring* xbase = x.data() + static_cast<std::size_t>(c * g.height * g.width);
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    Ring acc = 0;
+                    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+                        const std::int64_t iy = oy * g.stride - g.pad + ky;
+                        if (iy < 0 || iy >= g.height) continue;
+                        for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+                            const std::int64_t ix = ox * g.stride - g.pad + kx;
+                            if (ix < 0 || ix >= g.width) continue;
+                            acc += xbase[iy * g.width + ix] * wbase[ky * g.kernel + kx];
+                        }
+                    }
+                    y[static_cast<std::size_t>((o * oh + oy) * ow + ox)] += acc;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+std::vector<Ring> ring_matvec(std::span<const Ring> w, std::span<const Ring> x, std::int64_t in,
+                              std::int64_t out) {
+    require(w.size() == static_cast<std::size_t>(in * out), "ring_matvec weight size mismatch");
+    require(x.size() == static_cast<std::size_t>(in), "ring_matvec input size mismatch");
+    std::vector<Ring> y(static_cast<std::size_t>(out), 0);
+    for (std::int64_t o = 0; o < out; ++o) {
+        Ring acc = 0;
+        for (std::int64_t j = 0; j < in; ++j)
+            acc += w[static_cast<std::size_t>(o * in + j)] * x[static_cast<std::size_t>(j)];
+        y[static_cast<std::size_t>(o)] = acc;
+    }
+    return y;
+}
+
+}  // namespace c2pi::mpc

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file ring_ops.hpp
+/// Exact plaintext linear algebra over Z_{2^64}: the server-side "plain
+/// contribution" computations in the HE conv protocols and the reference
+/// used by protocol tests. Geometry matches he::ConvGeometry.
+
+#include "he/encoding.hpp"
+#include "mpc/ring_tensor.hpp"
+
+namespace c2pi::mpc {
+
+/// conv over the ring: x laid out [C,H,W], w [O,C,k,k]; output [O,OH,OW].
+[[nodiscard]] std::vector<Ring> ring_conv2d(const he::ConvGeometry& g, std::span<const Ring> x,
+                                            std::span<const Ring> w);
+
+/// y[o] = sum_j w[o*in+j] * x[j].
+[[nodiscard]] std::vector<Ring> ring_matvec(std::span<const Ring> w, std::span<const Ring> x,
+                                            std::int64_t in, std::int64_t out);
+
+}  // namespace c2pi::mpc

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file ring_tensor.hpp
+/// Tensor of Z_{2^64} elements — the secret-shared counterpart of Tensor.
+/// Conversions apply the fixed-point code from core/fixed_point.hpp.
+
+#include <vector>
+
+#include "core/fixed_point.hpp"
+#include "tensor/tensor.hpp"
+
+namespace c2pi::mpc {
+
+struct RingTensor {
+    Shape shape;
+    std::vector<Ring> data;
+
+    RingTensor() = default;
+    explicit RingTensor(Shape s) : shape(std::move(s)) {
+        data.assign(static_cast<std::size_t>(shape_numel(shape)), 0);
+    }
+    RingTensor(Shape s, std::vector<Ring> values) : shape(std::move(s)), data(std::move(values)) {
+        require(static_cast<std::int64_t>(data.size()) == shape_numel(shape),
+                "ring tensor value count mismatch");
+    }
+
+    [[nodiscard]] std::int64_t numel() const { return static_cast<std::int64_t>(data.size()); }
+    [[nodiscard]] std::span<const Ring> span() const { return data; }
+    [[nodiscard]] std::span<Ring> span() { return data; }
+};
+
+/// Fixed-point encode a float tensor into the ring.
+[[nodiscard]] inline RingTensor encode_tensor(const Tensor& t, const FixedPointFormat& fmt) {
+    RingTensor out(t.shape());
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        out.data[static_cast<std::size_t>(i)] = fmt.encode(t[i]);
+    return out;
+}
+
+/// Decode a ring tensor back to floats.
+[[nodiscard]] inline Tensor decode_tensor(const RingTensor& t, const FixedPointFormat& fmt) {
+    Tensor out(t.shape);
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        out[i] = static_cast<float>(fmt.decode(t.data[static_cast<std::size_t>(i)]));
+    return out;
+}
+
+/// Elementwise helpers on ring tensors (shape-checked).
+[[nodiscard]] inline RingTensor ring_add(const RingTensor& a, const RingTensor& b) {
+    require(a.shape == b.shape, "ring_add shape mismatch");
+    RingTensor out(a.shape);
+    for (std::size_t i = 0; i < a.data.size(); ++i) out.data[i] = a.data[i] + b.data[i];
+    return out;
+}
+
+[[nodiscard]] inline RingTensor ring_sub(const RingTensor& a, const RingTensor& b) {
+    require(a.shape == b.shape, "ring_sub shape mismatch");
+    RingTensor out(a.shape);
+    for (std::size_t i = 0; i < a.data.size(); ++i) out.data[i] = a.data[i] - b.data[i];
+    return out;
+}
+
+/// Local share truncation by f fractional bits (SecureML-style): both
+/// parties arithmetic-shift their share; the reconstructed value is off
+/// by at most one ulp except with probability ~|x|/2^63 (DESIGN.md §6).
+[[nodiscard]] inline RingTensor truncate_shares(const RingTensor& t, int frac_bits) {
+    RingTensor out(t.shape);
+    for (std::size_t i = 0; i < t.data.size(); ++i)
+        out.data[i] = static_cast<Ring>(static_cast<std::int64_t>(t.data[i]) >> frac_bits);
+    return out;
+}
+
+}  // namespace c2pi::mpc

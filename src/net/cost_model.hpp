@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file cost_model.hpp
+/// Deterministic network latency model. The paper evaluates under LAN
+/// (384 MBps bandwidth, 0.3 ms RTT) and WAN (44 MBps, 40 ms) — we adopt
+/// exactly those link parameters and compute
+///
+///   latency = measured_compute + bytes / bandwidth + flights * RTT / 2
+///
+/// where a "flight" is a maximal run of same-direction messages (each
+/// direction change costs half an RTT in a request/response pattern).
+
+#include <cstdint>
+#include <string>
+
+#include "net/channel.hpp"
+
+namespace c2pi::net {
+
+struct NetworkModel {
+    std::string name;
+    double bandwidth_bytes_per_s = 0.0;
+    double rtt_seconds = 0.0;
+
+    /// Paper's LAN setting: 384 MBps, 0.3 ms RTT.
+    [[nodiscard]] static NetworkModel lan() {
+        return {"LAN", 384.0 * 1024 * 1024, 0.3e-3};
+    }
+    /// Paper's WAN setting: 44 MBps, 40 ms RTT.
+    [[nodiscard]] static NetworkModel wan() {
+        return {"WAN", 44.0 * 1024 * 1024, 40.0e-3};
+    }
+
+    [[nodiscard]] double latency_seconds(double compute_seconds, std::uint64_t bytes,
+                                         std::uint64_t flights) const {
+        return compute_seconds + static_cast<double>(bytes) / bandwidth_bytes_per_s +
+               static_cast<double>(flights) * rtt_seconds / 2.0;
+    }
+};
+
+}  // namespace c2pi::net

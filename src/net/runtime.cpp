@@ -1,0 +1,55 @@
+#include "net/runtime.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "core/stopwatch.hpp"
+
+namespace c2pi::net {
+
+namespace {
+/// Unblock a peer that may be waiting on recv after our party died:
+/// flood its queue with empty poison messages. The peer's typed recv
+/// helpers reject them (size checks) and the peer unwinds too.
+void poison_peer(DuplexChannel& channel, int dead_party) {
+    for (int i = 0; i < 1024; ++i) channel.queue_to(1 - dead_party).push({});
+}
+}  // namespace
+
+RunResult run_two_party(DuplexChannel& channel,
+                        const std::function<void(Transport&)>& server,
+                        const std::function<void(Transport&)>& client) {
+    std::exception_ptr server_error, client_error;
+    Stopwatch watch;
+
+    std::thread server_thread([&] {
+        try {
+            Transport t(channel, 0);
+            server(t);
+        } catch (...) {
+            server_error = std::current_exception();
+            poison_peer(channel, 0);
+        }
+    });
+    std::thread client_thread([&] {
+        try {
+            Transport t(channel, 1);
+            client(t);
+        } catch (...) {
+            client_error = std::current_exception();
+            poison_peer(channel, 1);
+        }
+    });
+    server_thread.join();
+    client_thread.join();
+
+    if (server_error) std::rethrow_exception(server_error);
+    if (client_error) std::rethrow_exception(client_error);
+
+    RunResult result;
+    result.wall_seconds = watch.seconds();
+    result.stats = channel.stats();
+    return result;
+}
+
+}  // namespace c2pi::net

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file runtime.hpp
+/// Two-party protocol runtime: runs server and client bodies on two
+/// threads over a DuplexChannel and reports wall time + traffic.
+
+#include <functional>
+
+#include "net/channel.hpp"
+
+namespace c2pi::net {
+
+struct RunResult {
+    ChannelStats stats;
+    double wall_seconds = 0.0;           ///< total joint execution time
+    double phase_seconds[kNumPhases] = {};  ///< filled when parties report phases
+};
+
+/// Execute the two party bodies concurrently. Exceptions thrown by either
+/// body are captured and rethrown on the caller thread (first one wins).
+/// `server` runs as party 0, `client` as party 1.
+RunResult run_two_party(DuplexChannel& channel,
+                        const std::function<void(Transport&)>& server,
+                        const std::function<void(Transport&)>& client);
+
+}  // namespace c2pi::net

@@ -1,0 +1,236 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace c2pi::nn {
+
+namespace {
+Tensor kaiming_init(Shape shape, std::int64_t fan_in, Rng& rng) {
+    const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+    return Tensor::randn(std::move(shape), rng, stddev);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d ---
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, ops::ConvSpec spec, Rng& rng,
+               bool with_bias)
+    : spec_(spec),
+      weight_(kaiming_init({out_channels, in_channels, spec.kernel, spec.kernel},
+                           in_channels * spec.kernel * spec.kernel, rng)),
+      bias_(with_bias ? Parameter(Tensor({out_channels})) : Parameter(Tensor({1}))),
+      with_bias_(with_bias) {
+    require(in_channels > 0 && out_channels > 0, "conv channels must be positive");
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+    cached_input_ = x;
+    return ops::conv2d(x, weight_.value, with_bias_ ? bias_.value : Tensor{}, spec_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+    require(!cached_input_.empty(), "backward before forward");
+    if (with_bias_) {
+        ops::conv2d_backward_params(grad_out, cached_input_, spec_, weight_.grad, bias_.grad);
+    } else {
+        Tensor no_bias;
+        ops::conv2d_backward_params(grad_out, cached_input_, spec_, weight_.grad, no_bias);
+    }
+    return ops::conv2d_backward_input(grad_out, weight_.value, cached_input_.shape(), spec_);
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+    out.push_back(&weight_);
+    if (with_bias_) out.push_back(&bias_);
+}
+
+std::string Conv2d::describe() const {
+    std::ostringstream os;
+    os << "Conv2d(" << in_channels() << "->" << out_channels() << ", k=" << spec_.kernel
+       << ", s=" << spec_.stride << ", p=" << spec_.pad;
+    if (spec_.dilation != 1) os << ", d=" << spec_.dilation;
+    os << ')';
+    return os.str();
+}
+
+// ---------------------------------------------------------------- Linear ---
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool with_bias)
+    : weight_(kaiming_init({out_features, in_features}, in_features, rng)),
+      bias_(with_bias ? Parameter(Tensor({out_features})) : Parameter(Tensor({1}))),
+      with_bias_(with_bias) {}
+
+Tensor Linear::forward(const Tensor& x) {
+    require(x.rank() == 2 && x.dim(1) == in_features(), "linear input shape mismatch");
+    cached_input_ = x;
+    Tensor y = ops::matmul(x, ops::transpose2d(weight_.value));  // [n, out]
+    if (with_bias_) {
+        for (std::int64_t i = 0; i < y.dim(0); ++i)
+            for (std::int64_t j = 0; j < y.dim(1); ++j) y.at(i, j) += bias_.value[j];
+    }
+    return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+    require(!cached_input_.empty(), "backward before forward");
+    // dW = grad^T x ; dx = grad W
+    const Tensor gw = ops::matmul(ops::transpose2d(grad_out), cached_input_);
+    for (std::int64_t i = 0; i < gw.numel(); ++i) weight_.grad[i] += gw[i];
+    if (with_bias_) {
+        for (std::int64_t i = 0; i < grad_out.dim(0); ++i)
+            for (std::int64_t j = 0; j < grad_out.dim(1); ++j) bias_.grad[j] += grad_out.at(i, j);
+    }
+    return ops::matmul(grad_out, weight_.value);
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+    out.push_back(&weight_);
+    if (with_bias_) out.push_back(&bias_);
+}
+
+std::string Linear::describe() const {
+    std::ostringstream os;
+    os << "Linear(" << in_features() << "->" << out_features() << ')';
+    return os.str();
+}
+
+// ------------------------------------------------------------------ Relu ---
+
+Tensor Relu::forward(const Tensor& x) {
+    cached_input_ = x;
+    return ops::relu(x);
+}
+
+Tensor Relu::backward(const Tensor& grad_out) {
+    require(!cached_input_.empty(), "backward before forward");
+    return ops::relu_backward(grad_out, cached_input_);
+}
+
+// ------------------------------------------------------------- MaxPool2d ---
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+    cached_shape_ = x.shape();
+    auto res = ops::maxpool2d(x, kernel_, stride_);
+    cached_argmax_ = std::move(res.argmax);
+    return std::move(res.output);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+    require(!cached_argmax_.empty(), "backward before forward");
+    return ops::maxpool2d_backward(grad_out, cached_shape_, cached_argmax_);
+}
+
+std::string MaxPool2d::describe() const {
+    std::ostringstream os;
+    os << "MaxPool2d(k=" << kernel_ << ", s=" << stride_ << ')';
+    return os.str();
+}
+
+// ------------------------------------------------------------- AvgPool2d ---
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+    cached_shape_ = x.shape();
+    return ops::avgpool2d(x, kernel_, stride_);
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+    require(!cached_shape_.empty(), "backward before forward");
+    return ops::avgpool2d_backward(grad_out, cached_shape_, kernel_, stride_);
+}
+
+std::string AvgPool2d::describe() const {
+    std::ostringstream os;
+    os << "AvgPool2d(k=" << kernel_ << ", s=" << stride_ << ')';
+    return os.str();
+}
+
+// --------------------------------------------------------------- Flatten ---
+
+Tensor Flatten::forward(const Tensor& x) {
+    cached_shape_ = x.shape();
+    return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+    require(!cached_shape_.empty(), "backward before forward");
+    return grad_out.reshaped(cached_shape_);
+}
+
+// -------------------------------------------------------------- Upsample ---
+
+Tensor Upsample::forward(const Tensor& x) { return ops::upsample_nearest(x, factor_); }
+
+Tensor Upsample::backward(const Tensor& grad_out) {
+    return ops::upsample_nearest_backward(grad_out, factor_);
+}
+
+std::string Upsample::describe() const {
+    std::ostringstream os;
+    os << "Upsample(x" << factor_ << ')';
+    return os.str();
+}
+
+// --------------------------------------------------------------- Reshape ---
+
+Tensor Reshape::forward(const Tensor& x) {
+    cached_shape_ = x.shape();
+    Shape out{x.dim(0)};
+    out.insert(out.end(), target_.begin(), target_.end());
+    return x.reshaped(std::move(out));
+}
+
+Tensor Reshape::backward(const Tensor& grad_out) {
+    require(!cached_shape_.empty(), "backward before forward");
+    return grad_out.reshaped(cached_shape_);
+}
+
+std::string Reshape::describe() const { return "Reshape(to " + shape_to_string(target_) + ')'; }
+
+// --------------------------------------------------------- ResidualBlock ---
+
+ResidualBlock::ResidualBlock(std::int64_t in_channels, std::int64_t out_channels, Rng& rng)
+    : conv1_(std::make_unique<Conv2d>(in_channels, out_channels,
+                                      ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng)),
+      relu1_(std::make_unique<Relu>()),
+      conv2_(std::make_unique<Conv2d>(out_channels, out_channels,
+                                      ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng)) {
+    if (in_channels != out_channels) {
+        projection_ = std::make_unique<Conv2d>(in_channels, out_channels,
+                                               ops::ConvSpec{.kernel = 1, .stride = 1, .pad = 0}, rng);
+    }
+}
+
+Tensor ResidualBlock::forward(const Tensor& x) {
+    cached_input_ = x;
+    Tensor h = conv2_->forward(relu1_->forward(conv1_->forward(x)));
+    const Tensor skip = projection_ ? projection_->forward(x) : x;
+    cached_pre_activation_ = ops::add(h, skip);
+    return ops::relu(cached_pre_activation_);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+    require(!cached_pre_activation_.empty(), "backward before forward");
+    const Tensor g = ops::relu_backward(grad_out, cached_pre_activation_);
+    Tensor gx = conv1_->backward(relu1_->backward(conv2_->backward(g)));
+    if (projection_) {
+        ops::axpy(1.0F, projection_->backward(g), gx);
+    } else {
+        ops::axpy(1.0F, g, gx);
+    }
+    return gx;
+}
+
+void ResidualBlock::collect_parameters(std::vector<Parameter*>& out) {
+    conv1_->collect_parameters(out);
+    conv2_->collect_parameters(out);
+    if (projection_) projection_->collect_parameters(out);
+}
+
+std::string ResidualBlock::describe() const {
+    std::ostringstream os;
+    os << "ResidualBlock(" << conv1_->in_channels() << "->" << conv1_->out_channels() << ')';
+    return os.str();
+}
+
+}  // namespace c2pi::nn

@@ -1,0 +1,98 @@
+#include "nn/models.hpp"
+
+#include <algorithm>
+
+#include "nn/layers.hpp"
+
+namespace c2pi::nn {
+
+std::int64_t scaled_channels(std::int64_t base, float width_multiplier) {
+    const auto scaled = static_cast<std::int64_t>(static_cast<float>(base) * width_multiplier);
+    return std::max<std::int64_t>(scaled, 4);
+}
+
+namespace {
+
+constexpr std::int64_t kPool = -1;  // sentinel in VGG channel plans
+
+/// Build a VGG-style feature extractor from a channel plan, then a single
+/// FC classifier (the CIFAR-VGG convention).
+Sequential make_vgg(const std::vector<std::int64_t>& plan, const ModelConfig& cfg) {
+    Rng rng(cfg.seed);
+    Sequential model;
+    std::int64_t channels = cfg.input_channels;
+    std::int64_t hw = cfg.input_hw;
+    for (const auto entry : plan) {
+        if (entry == kPool) {
+            require(hw >= 2, "input resolution too small for VGG pooling schedule");
+            model.emplace<MaxPool2d>(2, 2);
+            hw /= 2;
+            continue;
+        }
+        const std::int64_t out = scaled_channels(entry, cfg.width_multiplier);
+        model.emplace<Conv2d>(channels, out, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng);
+        model.emplace<Relu>();
+        channels = out;
+    }
+    model.emplace<Flatten>();
+    model.emplace<Linear>(channels * hw * hw, cfg.num_classes, rng);
+    return model;
+}
+
+}  // namespace
+
+Sequential make_alexnet(const ModelConfig& cfg) {
+    Rng rng(cfg.seed);
+    Sequential model;
+    const auto ch = [&](std::int64_t base) { return scaled_channels(base, cfg.width_multiplier); };
+    std::int64_t hw = cfg.input_hw;
+
+    model.emplace<Conv2d>(cfg.input_channels, ch(64), ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1},
+                          rng);
+    model.emplace<Relu>();
+    model.emplace<MaxPool2d>(2, 2);
+    hw /= 2;
+    model.emplace<Conv2d>(ch(64), ch(192), ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng);
+    model.emplace<Relu>();
+    model.emplace<MaxPool2d>(2, 2);
+    hw /= 2;
+    model.emplace<Conv2d>(ch(192), ch(384), ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng);
+    model.emplace<Relu>();
+    model.emplace<Conv2d>(ch(384), ch(256), ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng);
+    model.emplace<Relu>();
+    model.emplace<Conv2d>(ch(256), ch(256), ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng);
+    model.emplace<Relu>();
+    model.emplace<MaxPool2d>(2, 2);
+    hw /= 2;
+    model.emplace<Flatten>();
+    model.emplace<Linear>(ch(256) * hw * hw, ch(512), rng);
+    model.emplace<Relu>();
+    model.emplace<Linear>(ch(512), ch(256), rng);
+    model.emplace<Relu>();
+    model.emplace<Linear>(ch(256), cfg.num_classes, rng);
+    return model;
+}
+
+Sequential make_vgg16(const ModelConfig& cfg) {
+    // 13 convs: 64x2 M 128x2 M 256x3 M 512x3 M 512x3 M
+    const std::vector<std::int64_t> plan = {64,  64,  kPool, 128, 128, kPool, 256, 256, 256, kPool,
+                                            512, 512, 512,  kPool, 512, 512, 512, kPool};
+    return make_vgg(plan, cfg);
+}
+
+Sequential make_vgg19(const ModelConfig& cfg) {
+    // 16 convs: 64x2 M 128x2 M 256x4 M 512x4 M 512x4 M
+    const std::vector<std::int64_t> plan = {64,  64,  kPool, 128, 128, kPool, 256, 256,
+                                            256, 256, kPool, 512, 512, 512,  512, kPool,
+                                            512, 512, 512,  512, kPool};
+    return make_vgg(plan, cfg);
+}
+
+Sequential make_model(const std::string& name, const ModelConfig& cfg) {
+    if (name == "alexnet") return make_alexnet(cfg);
+    if (name == "vgg16") return make_vgg16(cfg);
+    if (name == "vgg19") return make_vgg19(cfg);
+    fail("unknown model name: " + name);
+}
+
+}  // namespace c2pi::nn

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file models.hpp
+/// The model zoo used in the paper's evaluation: AlexNet and VGG16/VGG19
+/// CIFAR variants. Exact layer topology (conv counts, ReLU placement,
+/// pooling schedule) is preserved; a width multiplier scales channel
+/// counts so experiments run on CPU (DESIGN.md §4, substitution 2).
+
+#include "core/rng.hpp"
+#include "nn/sequential.hpp"
+
+namespace c2pi::nn {
+
+struct ModelConfig {
+    std::int64_t num_classes = 10;
+    std::int64_t input_hw = 32;      ///< square input resolution
+    std::int64_t input_channels = 3;
+    float width_multiplier = 0.25F;  ///< scales every channel count (min 4)
+    std::uint64_t seed = kDefaultSeed;
+};
+
+/// AlexNet CIFAR variant: 5 conv layers + 3 FC layers (8 linear ops; the
+/// paper's Fig. 8 sweeps ids 1..7, excluding the classifier output).
+[[nodiscard]] Sequential make_alexnet(const ModelConfig& config);
+
+/// VGG16 CIFAR variant: 13 conv layers + 1 FC classifier.
+[[nodiscard]] Sequential make_vgg16(const ModelConfig& config);
+
+/// VGG19 CIFAR variant: 16 conv layers + 1 FC classifier.
+[[nodiscard]] Sequential make_vgg19(const ModelConfig& config);
+
+/// Factory by name ("alexnet" | "vgg16" | "vgg19").
+[[nodiscard]] Sequential make_model(const std::string& name, const ModelConfig& config);
+
+/// Channel count after width scaling (exposed for tests).
+[[nodiscard]] std::int64_t scaled_channels(std::int64_t base, float width_multiplier);
+
+}  // namespace c2pi::nn

@@ -1,0 +1,54 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace c2pi::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+    velocity_.reserve(params_.size());
+    for (auto* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter& p = *params_[i];
+        Tensor& vel = velocity_[i];
+        for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+            const float g = p.grad[j] + weight_decay_ * p.value[j];
+            vel[j] = momentum_ * vel[j] + g;
+            p.value[j] -= lr_ * vel[j];
+        }
+        p.zero_grad();
+    }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (auto* p : params_) {
+        m_.emplace_back(p->value.shape());
+        v_.emplace_back(p->value.shape());
+    }
+}
+
+void Adam::step() {
+    ++t_;
+    const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter& p = *params_[i];
+        for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+            const float g = p.grad[j];
+            m_[i][j] = beta1_ * m_[i][j] + (1.0F - beta1_) * g;
+            v_[i][j] = beta2_ * v_[i][j] + (1.0F - beta2_) * g * g;
+            const float mhat = m_[i][j] / bc1;
+            const float vhat = v_[i][j] / bc2;
+            p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+        p.zero_grad();
+    }
+}
+
+}  // namespace c2pi::nn

@@ -1,0 +1,92 @@
+#include "nn/sequential.hpp"
+
+#include <sstream>
+
+namespace c2pi::nn {
+
+Layer& Sequential::add(LayerPtr layer) {
+    require(layer != nullptr, "cannot add null layer");
+    layers_.push_back(std::move(layer));
+    return *layers_.back();
+}
+
+Tensor Sequential::forward(const Tensor& x) { return forward_range(0, layers_.size(), x); }
+
+Tensor Sequential::forward_range(std::size_t begin, std::size_t end, const Tensor& x) {
+    require(begin <= end && end <= layers_.size(), "forward_range out of bounds");
+    Tensor h = x;
+    for (std::size_t i = begin; i < end; ++i) h = layers_[i]->forward(h);
+    return h;
+}
+
+Tensor Sequential::backward_range(std::size_t begin, std::size_t end, const Tensor& grad) {
+    require(begin <= end && end <= layers_.size(), "backward_range out of bounds");
+    Tensor g = grad;
+    for (std::size_t i = end; i > begin; --i) g = layers_[i - 1]->backward(g);
+    return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+    std::vector<Parameter*> params;
+    for (auto& l : layers_) l->collect_parameters(params);
+    return params;
+}
+
+void Sequential::zero_grad() {
+    for (auto* p : parameters()) p->zero_grad();
+}
+
+std::vector<std::size_t> Sequential::linear_op_indices() const {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const auto k = layers_[i]->kind();
+        if (k == LayerKind::kConv2d || k == LayerKind::kLinear) idx.push_back(i);
+    }
+    return idx;
+}
+
+std::int64_t Sequential::num_linear_ops() const {
+    return static_cast<std::int64_t>(linear_op_indices().size());
+}
+
+std::size_t Sequential::flat_cut_index(const CutPoint& cut) const {
+    const auto idx = linear_op_indices();
+    require(cut.linear_index >= 1 &&
+                cut.linear_index <= static_cast<std::int64_t>(idx.size()),
+            "cut linear_index out of range");
+    std::size_t flat = idx[static_cast<std::size_t>(cut.linear_index - 1)];
+    if (cut.after_relu) {
+        require(flat + 1 < layers_.size() && layers_[flat + 1]->kind() == LayerKind::kRelu,
+                "cut names a .5 position but no ReLU follows that linear op");
+        ++flat;
+    }
+    return flat;
+}
+
+Tensor Sequential::forward_prefix(const CutPoint& cut, const Tensor& x) {
+    return forward_range(0, flat_cut_index(cut) + 1, x);
+}
+
+Tensor Sequential::forward_suffix(const CutPoint& cut, const Tensor& intermediate) {
+    return forward_range(flat_cut_index(cut) + 1, layers_.size(), intermediate);
+}
+
+std::string Sequential::describe() const {
+    std::ostringstream os;
+    std::int64_t linear_id = 0;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const auto k = layers_[i]->kind();
+        if (k == LayerKind::kConv2d || k == LayerKind::kLinear) ++linear_id;
+        os << i << ": " << layers_[i]->describe();
+        if (k == LayerKind::kConv2d || k == LayerKind::kLinear) os << "   [linear op " << linear_id << ']';
+        os << '\n';
+    }
+    return os.str();
+}
+
+Shape activation_shape(Sequential& model, const CutPoint& cut, const Shape& input_shape) {
+    Tensor probe(input_shape);
+    return model.forward_prefix(cut, probe).shape();
+}
+
+}  // namespace c2pi::nn

@@ -1,0 +1,65 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace c2pi::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xC2F11A8E;
+}
+
+void save_parameters(Sequential& model, const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    require(out.good(), "cannot open parameter file for writing: " + path);
+    const auto params = model.parameters();
+    const auto count = static_cast<std::uint32_t>(params.size());
+    out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto* p : params) {
+        const auto rank = static_cast<std::uint32_t>(p->value.rank());
+        out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+        for (std::int64_t d = 0; d < p->value.rank(); ++d) {
+            const std::int64_t dim = p->value.dim(d);
+            out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+        }
+        out.write(reinterpret_cast<const char*>(p->value.data()),
+                  static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    }
+    require(out.good(), "failed writing parameter file: " + path);
+}
+
+void load_parameters(Sequential& model, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    require(in.good(), "cannot open parameter file: " + path);
+    std::uint32_t magic = 0, count = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    require(magic == kMagic, "bad parameter file magic: " + path);
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    const auto params = model.parameters();
+    require(count == params.size(), "parameter count mismatch loading: " + path);
+    for (auto* p : params) {
+        std::uint32_t rank = 0;
+        in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+        require(rank == static_cast<std::uint32_t>(p->value.rank()), "parameter rank mismatch");
+        for (std::int64_t d = 0; d < p->value.rank(); ++d) {
+            std::int64_t dim = 0;
+            in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+            require(dim == p->value.dim(d), "parameter shape mismatch");
+        }
+        in.read(reinterpret_cast<char*>(p->value.data()),
+                static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    }
+    require(in.good(), "truncated parameter file: " + path);
+}
+
+bool try_load_parameters(Sequential& model, const std::string& path) {
+    try {
+        load_parameters(model, path);
+        return true;
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+}  // namespace c2pi::nn

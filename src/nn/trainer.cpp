@@ -1,0 +1,120 @@
+#include "nn/trainer.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+#include "metrics/ssim.hpp"
+#include "nn/optimizer.hpp"
+
+namespace c2pi::nn {
+
+TrainReport train_classifier(Sequential& model, const data::SyntheticImageDataset& dataset,
+                             const TrainConfig& config) {
+    Rng rng(config.seed);
+    Sgd opt(model.parameters(), config.lr, config.momentum, config.weight_decay);
+
+    const auto& train = dataset.train();
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    TrainReport report;
+    for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::int64_t batches = 0;
+        for (std::size_t start = 0; start + 1 < order.size();
+             start += static_cast<std::size_t>(config.batch_size)) {
+            const std::size_t count =
+                std::min(static_cast<std::size_t>(config.batch_size), order.size() - start);
+            const std::span<const std::size_t> idx(order.data() + start, count);
+            const Tensor x = dataset.make_batch(train, idx);
+            const auto labels = dataset.make_labels(train, idx);
+
+            const Tensor logits = model.forward(x);
+            const auto loss = ops::softmax_cross_entropy(logits, labels);
+            (void)model.backward_range(0, model.size(), loss.grad_logits);
+            opt.step();
+
+            epoch_loss += loss.loss;
+            ++batches;
+        }
+        report.epoch_loss.push_back(static_cast<float>(epoch_loss / std::max<std::int64_t>(batches, 1)));
+        if (config.verbose) {
+            std::printf("  epoch %2lld  loss %.4f\n", static_cast<long long>(epoch),
+                        report.epoch_loss.back());
+        }
+    }
+    report.final_train_accuracy = evaluate_accuracy(model, dataset.train());
+    report.final_test_accuracy = evaluate_accuracy(model, dataset.test());
+    return report;
+}
+
+double evaluate_accuracy(Sequential& model, std::span<const data::Sample> samples,
+                         std::int64_t batch_size) {
+    require(!samples.empty(), "evaluate_accuracy on empty sample set");
+    std::int64_t correct = 0;
+    for (std::size_t start = 0; start < samples.size();
+         start += static_cast<std::size_t>(batch_size)) {
+        const std::size_t count =
+            std::min(static_cast<std::size_t>(batch_size), samples.size() - start);
+        std::vector<std::size_t> idx(count);
+        std::iota(idx.begin(), idx.end(), start);
+        Tensor x({static_cast<std::int64_t>(count), samples[0].image.dim(0),
+                  samples[0].image.dim(1), samples[0].image.dim(2)});
+        std::vector<std::int64_t> labels(count);
+        const std::int64_t per = samples[0].image.numel();
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto& s = samples[start + i];
+            std::copy(s.image.data(), s.image.data() + per,
+                      x.data() + static_cast<std::int64_t>(i) * per);
+            labels[i] = s.label;
+        }
+        const Tensor logits = model.forward(x);
+        for (std::size_t i = 0; i < count; ++i) {
+            std::int64_t best = 0;
+            for (std::int64_t j = 1; j < logits.dim(1); ++j)
+                if (logits.at(static_cast<std::int64_t>(i), j) >
+                    logits.at(static_cast<std::int64_t>(i), best))
+                    best = j;
+            if (best == labels[i]) ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+double evaluate_accuracy_with_noise_at(Sequential& model, const CutPoint& cut,
+                                       std::span<const data::Sample> samples, float lambda,
+                                       std::uint64_t seed, std::int64_t batch_size) {
+    require(!samples.empty(), "empty sample set");
+    Rng rng(seed);
+    std::int64_t correct = 0;
+    for (std::size_t start = 0; start < samples.size();
+         start += static_cast<std::size_t>(batch_size)) {
+        const std::size_t count =
+            std::min(static_cast<std::size_t>(batch_size), samples.size() - start);
+        Tensor x({static_cast<std::int64_t>(count), samples[0].image.dim(0),
+                  samples[0].image.dim(1), samples[0].image.dim(2)});
+        std::vector<std::int64_t> labels(count);
+        const std::int64_t per = samples[0].image.numel();
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto& s = samples[start + i];
+            std::copy(s.image.data(), s.image.data() + per,
+                      x.data() + static_cast<std::int64_t>(i) * per);
+            labels[i] = s.label;
+        }
+        Tensor act = model.forward_prefix(cut, x);
+        for (std::int64_t i = 0; i < act.numel(); ++i) act[i] += rng.uniform(-lambda, lambda);
+        const Tensor logits = model.forward_suffix(cut, act);
+        for (std::size_t i = 0; i < count; ++i) {
+            std::int64_t best = 0;
+            for (std::int64_t j = 1; j < logits.dim(1); ++j)
+                if (logits.at(static_cast<std::int64_t>(i), j) >
+                    logits.at(static_cast<std::int64_t>(i), best))
+                    best = j;
+            if (best == labels[i]) ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+}  // namespace c2pi::nn

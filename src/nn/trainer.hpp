@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file trainer.hpp
+/// Classifier training / evaluation loops over the synthetic datasets.
+
+#include "data/synthetic.hpp"
+#include "nn/sequential.hpp"
+
+namespace c2pi::nn {
+
+struct TrainConfig {
+    std::int64_t epochs = 6;
+    std::int64_t batch_size = 32;
+    float lr = 0.01F;
+    float momentum = 0.9F;
+    float weight_decay = 5e-4F;
+    std::uint64_t seed = kDefaultSeed;
+    bool verbose = false;
+};
+
+struct TrainReport {
+    std::vector<float> epoch_loss;
+    double final_train_accuracy = 0.0;
+    double final_test_accuracy = 0.0;
+};
+
+/// Train `model` on `dataset.train()` with SGD + cross-entropy.
+TrainReport train_classifier(Sequential& model, const data::SyntheticImageDataset& dataset,
+                             const TrainConfig& config);
+
+/// Top-1 accuracy of `model` over a list of samples (batched internally).
+[[nodiscard]] double evaluate_accuracy(Sequential& model, std::span<const data::Sample> samples,
+                                       std::int64_t batch_size = 64);
+
+/// Accuracy when inference starts from (possibly noised) activations at a
+/// cut point: the first `cut` ops run normally, uniform noise in
+/// [-lambda, lambda] is added to M_l(x), and the suffix completes the
+/// inference. This is exactly the accuracy(l, lambda) check of
+/// Algorithm 1, and the quantity plotted in Fig. 7.
+[[nodiscard]] double evaluate_accuracy_with_noise_at(Sequential& model, const CutPoint& cut,
+                                                     std::span<const data::Sample> samples,
+                                                     float lambda, std::uint64_t seed,
+                                                     std::int64_t batch_size = 64);
+
+}  // namespace c2pi::nn

@@ -1,0 +1,41 @@
+#include "pi/c2pi.hpp"
+
+namespace c2pi::pi {
+
+namespace {
+PiEngine::Options engine_options(const nn::CutPoint& boundary, PiBackend backend,
+                                 const C2piOptions& options) {
+    PiEngine::Options opts;
+    opts.backend = backend;
+    opts.fmt = options.fmt;
+    opts.he_ring_degree = options.he_ring_degree;
+    opts.boundary = boundary;
+    opts.noise_lambda = options.boundary.noise_lambda;
+    opts.seed = options.seed;
+    return opts;
+}
+}  // namespace
+
+C2piSystem::C2piSystem(nn::Sequential& model, const data::SyntheticImageDataset& dataset,
+                       const attack::IdpaFactory& make_attack, const C2piOptions& options)
+    : boundary_(search_boundary(model, dataset, make_attack, options.boundary)),
+      engine_(model, engine_options(boundary_.boundary, options.backend, options)) {}
+
+C2piSystem::C2piSystem(nn::Sequential& model, const nn::CutPoint& boundary,
+                       const C2piOptions& options)
+    : boundary_(), engine_(model, engine_options(boundary, options.backend, options)) {
+    boundary_.boundary = boundary;
+}
+
+PiEngine make_full_pi_engine(nn::Sequential& model, PiBackend backend, const C2piOptions& options) {
+    PiEngine::Options opts;
+    opts.backend = backend;
+    opts.fmt = options.fmt;
+    opts.he_ring_degree = options.he_ring_degree;
+    opts.boundary = std::nullopt;
+    opts.noise_lambda = 0.0F;
+    opts.seed = options.seed;
+    return PiEngine(model, opts);
+}
+
+}  // namespace c2pi::pi

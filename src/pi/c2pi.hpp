@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file c2pi.hpp
+/// The top-level C2PI facade (paper Fig. 2): the server (a) searches for
+/// the crypto-clear boundary with Algorithm 1 + DINA, then (b) the two
+/// parties run the crypto layers under an existing PI backend and (c) the
+/// client reveals its noised share so the server finishes the clear
+/// layers alone. This header wires boundary search and the PI engine into
+/// one object — the API most examples use.
+
+#include "pi/boundary.hpp"
+#include "pi/engine.hpp"
+
+namespace c2pi::pi {
+
+struct C2piOptions {
+    PiBackend backend = PiBackend::kCheetah;
+    BoundaryConfig boundary;  ///< sigma / delta / lambda of Algorithm 1
+    FixedPointFormat fmt{.frac_bits = 16};
+    std::size_t he_ring_degree = 4096;
+    std::uint64_t seed = kDefaultSeed;
+};
+
+/// A configured crypto-clear private inference system.
+class C2piSystem {
+public:
+    /// Server-side setup: run Algorithm 1 with the given IDPA and build
+    /// the engine for the discovered boundary.
+    C2piSystem(nn::Sequential& model, const data::SyntheticImageDataset& dataset,
+               const attack::IdpaFactory& make_attack, const C2piOptions& options);
+
+    /// Setup with a pre-computed boundary (skips Algorithm 1).
+    C2piSystem(nn::Sequential& model, const nn::CutPoint& boundary, const C2piOptions& options);
+
+    /// One private inference; see PiEngine::run.
+    [[nodiscard]] PiResult infer(const Tensor& input) { return engine_.run(input); }
+
+    [[nodiscard]] const BoundaryResult& boundary() const { return boundary_; }
+    [[nodiscard]] const PiEngine& engine() const { return engine_; }
+
+private:
+    BoundaryResult boundary_;
+    PiEngine engine_;
+};
+
+/// Full-PI baseline engine for the same model/backend (the paper's
+/// comparison point in Table II).
+[[nodiscard]] PiEngine make_full_pi_engine(nn::Sequential& model, PiBackend backend,
+                                           const C2piOptions& options);
+
+}  // namespace c2pi::pi

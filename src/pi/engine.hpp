@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file engine.hpp
+/// Two-party private inference engines and the C2PI runner.
+///
+/// Backends:
+///  * kCheetah — Huang et al. 2022 style: HE linear layers + OT millionaire
+///    non-linear layers, online-only.
+///  * kDelphi — Mishra et al. 2020 style: the HE linear work and the
+///    garbled-circuit tables are charged to an input-independent offline
+///    phase; online traffic is GC label transfer/evaluation and share
+///    reveals. (Our implementation executes the phases inline but tags
+///    traffic per phase, which preserves the cost profile — DESIGN.md §6.)
+///
+/// C2PI (the paper's contribution): only the layers up to `boundary` run
+/// under MPC. The client then adds uniform noise of magnitude
+/// `noise_lambda` to its share and reveals it; the server finishes the
+/// clear layers in plaintext and returns the logits. Full PI is the
+/// special case boundary == last linear op (paper §I).
+
+#include <optional>
+
+#include "net/cost_model.hpp"
+#include "net/runtime.hpp"
+#include "pi/plan.hpp"
+
+namespace c2pi::pi {
+
+enum class PiBackend { kDelphi, kCheetah };
+
+[[nodiscard]] inline const char* backend_name(PiBackend b) {
+    return b == PiBackend::kDelphi ? "Delphi" : "Cheetah";
+}
+
+struct PiStats {
+    std::uint64_t offline_bytes = 0;
+    std::uint64_t online_bytes = 0;
+    std::uint64_t offline_flights = 0;
+    std::uint64_t online_flights = 0;
+    double wall_seconds = 0.0;
+
+    [[nodiscard]] std::uint64_t total_bytes() const { return offline_bytes + online_bytes; }
+    [[nodiscard]] std::uint64_t total_flights() const { return offline_flights + online_flights; }
+
+    /// End-to-end latency under a network model (DESIGN.md §4 subst. 5).
+    [[nodiscard]] double latency_seconds(const net::NetworkModel& net) const {
+        return net.latency_seconds(wall_seconds, total_bytes(), total_flights());
+    }
+};
+
+struct PiResult {
+    Tensor logits;  ///< client's view of the inference output [1, classes]
+    PiStats stats;
+    std::int64_t crypto_linear_ops = 0;  ///< linear ops run under MPC
+    std::int64_t hidden_linear_ops = 0;  ///< clear-layer ops hidden from the client
+};
+
+class PiEngine {
+public:
+    struct Options {
+        PiBackend backend = PiBackend::kCheetah;
+        FixedPointFormat fmt{.frac_bits = 16};
+        std::size_t he_ring_degree = 4096;
+        /// Last crypto operation; nullopt = full PI (all linear ops crypto).
+        std::optional<nn::CutPoint> boundary;
+        /// Uniform noise magnitude the client adds to its revealed share
+        /// (C2PI's extra defense; ignored for full PI).
+        float noise_lambda = 0.0F;
+        std::uint64_t seed = kDefaultSeed;
+    };
+
+    /// The engine borrows the model; it must outlive the engine.
+    PiEngine(nn::Sequential& model, Options options);
+
+    /// Run one private inference on a [1,C,H,W] client input.
+    [[nodiscard]] PiResult run(const Tensor& input);
+
+    [[nodiscard]] const Options& options() const { return options_; }
+
+private:
+    nn::Sequential* model_;
+    Options options_;
+    he::BfvContext bfv_;
+};
+
+}  // namespace c2pi::pi

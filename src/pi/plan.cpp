@@ -1,0 +1,113 @@
+#include "pi/plan.hpp"
+
+#include "nn/layers.hpp"
+
+namespace c2pi::pi {
+
+std::vector<LayerPlan> plan_layers(nn::Sequential& model, const Shape& input_chw, std::size_t end) {
+    require(input_chw.size() == 3, "plan expects a [C,H,W] input shape");
+    require(end <= model.size(), "plan range out of bounds");
+    std::vector<LayerPlan> plan;
+    Shape shape = input_chw;  // [C,H,W] while spatial, [F] after flatten
+
+    for (std::size_t i = 0; i < end; ++i) {
+        LayerPlan entry;
+        entry.in_shape = shape;
+        const nn::Layer& layer = model.layer(i);
+        switch (layer.kind()) {
+            case nn::LayerKind::kConv2d: {
+                const auto& conv = static_cast<const nn::Conv2d&>(layer);
+                require(shape.size() == 3, "conv after flatten is unsupported");
+                require(conv.spec().dilation == 1, "dilated conv not supported under MPC");
+                entry.op = PlanOp::kConv;
+                entry.geo = he::ConvGeometry{.in_channels = shape[0],
+                                             .height = shape[1],
+                                             .width = shape[2],
+                                             .out_channels = conv.out_channels(),
+                                             .kernel = conv.spec().kernel,
+                                             .stride = conv.spec().stride,
+                                             .pad = conv.spec().pad};
+                shape = {conv.out_channels(), entry.geo.out_h(), entry.geo.out_w()};
+                break;
+            }
+            case nn::LayerKind::kLinear: {
+                const auto& fc = static_cast<const nn::Linear&>(layer);
+                require(shape.size() == 1, "linear layer requires flattened input");
+                entry.op = PlanOp::kLinear;
+                entry.in_features = fc.in_features();
+                entry.out_features = fc.out_features();
+                require(shape[0] == entry.in_features, "linear input size mismatch");
+                shape = {entry.out_features};
+                break;
+            }
+            case nn::LayerKind::kRelu:
+                entry.op = PlanOp::kRelu;
+                break;
+            case nn::LayerKind::kMaxPool: {
+                const auto& pool = static_cast<const nn::MaxPool2d&>(layer);
+                entry.op = PlanOp::kMaxPool;
+                entry.pool_kernel = pool.kernel();
+                entry.pool_stride = pool.stride();
+                shape = {shape[0], (shape[1] - pool.kernel()) / pool.stride() + 1,
+                         (shape[2] - pool.kernel()) / pool.stride() + 1};
+                break;
+            }
+            case nn::LayerKind::kAvgPool: {
+                const auto& pool = static_cast<const nn::AvgPool2d&>(layer);
+                entry.op = PlanOp::kAvgPool;
+                entry.pool_kernel = pool.kernel();
+                entry.pool_stride = pool.stride();
+                shape = {shape[0], (shape[1] - pool.kernel()) / pool.stride() + 1,
+                         (shape[2] - pool.kernel()) / pool.stride() + 1};
+                break;
+            }
+            case nn::LayerKind::kFlatten:
+                entry.op = PlanOp::kFlatten;
+                shape = {shape_numel(shape)};
+                break;
+            default:
+                fail("layer kind not supported under MPC: " + layer.describe());
+        }
+        entry.out_shape = shape;
+        plan.push_back(std::move(entry));
+    }
+    return plan;
+}
+
+std::vector<ServerLayerData> extract_server_data(nn::Sequential& model, std::size_t end,
+                                                 const FixedPointFormat& fmt) {
+    std::vector<ServerLayerData> data(end);
+    for (std::size_t i = 0; i < end; ++i) {
+        const nn::Layer& layer = model.layer(i);
+        if (layer.kind() == nn::LayerKind::kConv2d) {
+            const auto& conv = static_cast<const nn::Conv2d&>(model.layer(i));
+            const Tensor& w = conv.weight().value;
+            data[i].weights.resize(static_cast<std::size_t>(w.numel()));
+            for (std::int64_t j = 0; j < w.numel(); ++j)
+                data[i].weights[static_cast<std::size_t>(j)] = fmt.encode(w[j]);
+            const Tensor& b = conv.bias().value;
+            if (b.numel() == conv.out_channels()) {
+                data[i].bias2f.resize(static_cast<std::size_t>(b.numel()));
+                for (std::int64_t j = 0; j < b.numel(); ++j)
+                    data[i].bias2f[static_cast<std::size_t>(j)] =
+                        fmt.encode(b[j]) << fmt.frac_bits;
+            }
+        } else if (layer.kind() == nn::LayerKind::kLinear) {
+            const auto& fc = static_cast<const nn::Linear&>(model.layer(i));
+            const Tensor& w = fc.weight().value;
+            data[i].weights.resize(static_cast<std::size_t>(w.numel()));
+            for (std::int64_t j = 0; j < w.numel(); ++j)
+                data[i].weights[static_cast<std::size_t>(j)] = fmt.encode(w[j]);
+            const Tensor& b = fc.bias().value;
+            if (b.numel() == fc.out_features()) {
+                data[i].bias2f.resize(static_cast<std::size_t>(b.numel()));
+                for (std::int64_t j = 0; j < b.numel(); ++j)
+                    data[i].bias2f[static_cast<std::size_t>(j)] =
+                        fmt.encode(b[j]) << fmt.frac_bits;
+            }
+        }
+    }
+    return data;
+}
+
+}  // namespace c2pi::pi

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file plan.hpp
+/// Backend-agnostic execution plan for the crypto layers. The plan holds
+/// only architecture/geometry (what the paper allows the client to learn
+/// about the crypto layers); weights stay inside ServerModelData, which
+/// only the server thread reads.
+
+#include "he/encoding.hpp"
+#include "mpc/ring_tensor.hpp"
+#include "nn/sequential.hpp"
+
+namespace c2pi::pi {
+
+enum class PlanOp { kConv, kLinear, kRelu, kMaxPool, kAvgPool, kFlatten };
+
+struct LayerPlan {
+    PlanOp op;
+    he::ConvGeometry geo;               ///< kConv
+    std::int64_t in_features = 0;       ///< kLinear
+    std::int64_t out_features = 0;      ///< kLinear
+    std::int64_t pool_kernel = 0;       ///< pooling ops
+    std::int64_t pool_stride = 0;
+    Shape in_shape;                     ///< [C,H,W] or [F]
+    Shape out_shape;
+};
+
+/// Per-layer server secrets for the crypto layers.
+struct ServerLayerData {
+    std::vector<Ring> weights;  ///< fixed-point encoded (scale f)
+    std::vector<Ring> bias2f;   ///< bias at scale 2f (empty if no bias)
+};
+
+/// Plan flat layers [0, end) of the model for an input of shape [C,H,W].
+[[nodiscard]] std::vector<LayerPlan> plan_layers(nn::Sequential& model, const Shape& input_chw,
+                                                 std::size_t end);
+
+/// Extract ring-encoded weights for every kConv/kLinear plan entry
+/// (entries for other ops are empty).
+[[nodiscard]] std::vector<ServerLayerData> extract_server_data(nn::Sequential& model,
+                                                               std::size_t end,
+                                                               const FixedPointFormat& fmt);
+
+}  // namespace c2pi::pi

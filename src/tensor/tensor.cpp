@@ -1,0 +1,53 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace c2pi {
+
+std::string shape_to_string(const Shape& s) {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (i != 0) os << ',';
+        os << s[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+    Tensor t(std::move(shape));
+    for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal(0.0F, stddev);
+    return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+    Tensor t(std::move(shape));
+    for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(lo, hi);
+    return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+    require(shape_numel(new_shape) == numel(), "reshape must preserve numel");
+    Tensor t;
+    t.shape_ = std::move(new_shape);
+    t.data_ = data_;
+    return t;
+}
+
+bool Tensor::allclose(const Tensor& other, float atol) const {
+    if (!same_shape(other)) return false;
+    for (std::int64_t i = 0; i < numel(); ++i) {
+        if (std::fabs((*this)[i] - other[i]) > atol) return false;
+    }
+    return true;
+}
+
+}  // namespace c2pi

@@ -1,0 +1,126 @@
+// Unit tests for core utilities: RNG determinism and statistics,
+// fixed-point codec round-trips, error helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/error.hpp"
+#include "core/fixed_point.hpp"
+#include "core/rng.hpp"
+
+namespace c2pi {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const float u = rng.uniform(-0.5F, 0.5F);
+        EXPECT_GE(u, -0.5F);
+        EXPECT_LT(u, 0.5F);
+    }
+}
+
+TEST(Rng, UniformIndexInRange) {
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_index(10);
+        EXPECT_LT(v, 10U);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10U);  // all buckets hit over 1000 draws
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+    Rng rng(11);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(3);
+    std::vector<std::size_t> v(50);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+    rng.shuffle(v);
+    std::set<std::size_t> s(v.begin(), v.end());
+    EXPECT_EQ(s.size(), 50U);
+}
+
+TEST(FixedPoint, EncodeDecodeRoundTrip) {
+    const FixedPointFormat fmt{.frac_bits = 16};
+    for (const double v : {0.0, 1.0, -1.0, 0.5, -0.25, 123.456, -98.75, 1e-3}) {
+        EXPECT_NEAR(fmt.decode(fmt.encode(v)), v, 1.0 / fmt.scale());
+    }
+}
+
+TEST(FixedPoint, AdditiveHomomorphism) {
+    const FixedPointFormat fmt{.frac_bits = 16};
+    const Ring a = fmt.encode(3.25), b = fmt.encode(-1.75);
+    EXPECT_NEAR(fmt.decode(a + b), 1.5, 2.0 / fmt.scale());
+}
+
+TEST(FixedPoint, ProductNeedsTruncation) {
+    const FixedPointFormat fmt{.frac_bits = 16};
+    const Ring a = fmt.encode(2.0), b = fmt.encode(3.0);
+    const Ring prod = fmt.truncate(a * b);
+    EXPECT_NEAR(fmt.decode(prod), 6.0, 4.0 / fmt.scale());
+}
+
+TEST(FixedPoint, NegativeValuesUseTwosComplement) {
+    const FixedPointFormat fmt{.frac_bits = 12};
+    const Ring r = fmt.encode(-5.5);
+    EXPECT_NEAR(fmt.decode(r), -5.5, 1.0 / fmt.scale());
+    EXPECT_GT(r, Ring{1} << 62);  // high bit set for negatives
+}
+
+TEST(FixedPoint, TruncatePreservesSign) {
+    const FixedPointFormat fmt{.frac_bits = 16};
+    const Ring neg = fmt.encode(-8.0) * fmt.encode(2.0);
+    EXPECT_NEAR(fmt.decode(fmt.truncate(neg)), -16.0, 4.0 / fmt.scale());
+}
+
+TEST(Error, RequireThrowsWithLocation) {
+    EXPECT_NO_THROW(require(true, "fine"));
+    try {
+        require(false, "boom");
+        FAIL() << "expected throw";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("core_test"), std::string::npos);
+    }
+}
+
+TEST(Error, FailAlwaysThrows) { EXPECT_THROW(fail("nope"), Error); }
+
+}  // namespace
+}  // namespace c2pi

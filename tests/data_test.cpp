@@ -1,0 +1,109 @@
+// Tests for the synthetic dataset: determinism, value ranges, class
+// structure (same-class images more similar than cross-class), batching.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "metrics/ssim.hpp"
+
+namespace c2pi {
+namespace {
+
+data::DatasetConfig small_config() {
+    auto cfg = data::DatasetConfig::cifar10_like();
+    cfg.train_size = 60;
+    cfg.test_size = 20;
+    cfg.image_size = 16;
+    return cfg;
+}
+
+TEST(SyntheticData, DeterministicFromSeed) {
+    data::SyntheticImageDataset a(small_config());
+    data::SyntheticImageDataset b(small_config());
+    ASSERT_EQ(a.train().size(), b.train().size());
+    for (std::size_t i = 0; i < a.train().size(); ++i) {
+        EXPECT_TRUE(a.train()[i].image.allclose(b.train()[i].image, 0.0F));
+        EXPECT_EQ(a.train()[i].label, b.train()[i].label);
+    }
+}
+
+TEST(SyntheticData, PixelValuesInUnitRange) {
+    data::SyntheticImageDataset ds(small_config());
+    for (const auto& s : ds.train()) {
+        for (std::int64_t i = 0; i < s.image.numel(); ++i) {
+            EXPECT_GE(s.image[i], 0.0F);
+            EXPECT_LE(s.image[i], 1.0F);
+        }
+    }
+}
+
+TEST(SyntheticData, LabelsCoverAllClasses) {
+    data::SyntheticImageDataset ds(small_config());
+    std::vector<int> counts(10, 0);
+    for (const auto& s : ds.train()) ++counts[static_cast<std::size_t>(s.label)];
+    for (const int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(SyntheticData, SameClassMoreSimilarThanCrossClass) {
+    auto cfg = small_config();
+    cfg.train_size = 100;
+    data::SyntheticImageDataset ds(cfg);
+    // Average SSIM between pairs of class-0 images vs class-0/class-5 pairs.
+    std::vector<const Tensor*> class0, class5;
+    for (const auto& s : ds.train()) {
+        if (s.label == 0) class0.push_back(&s.image);
+        if (s.label == 5) class5.push_back(&s.image);
+    }
+    ASSERT_GE(class0.size(), 3U);
+    ASSERT_GE(class5.size(), 3U);
+    double same = 0.0, cross = 0.0;
+    int n = 0;
+    for (int i = 0; i < 3; ++i) {
+        same += metrics::ssim(*class0[static_cast<std::size_t>(i)],
+                              *class0[static_cast<std::size_t>(i) + 1]);
+        cross += metrics::ssim(*class0[static_cast<std::size_t>(i)],
+                               *class5[static_cast<std::size_t>(i)]);
+        ++n;
+    }
+    EXPECT_GT(same / n, cross / n);
+}
+
+TEST(SyntheticData, TrainTestDisjointPixels) {
+    data::SyntheticImageDataset ds(small_config());
+    // Same generator parameters but different jitter: images must differ.
+    EXPECT_FALSE(ds.train()[0].image.allclose(ds.test()[0].image, 1e-4F));
+}
+
+TEST(SyntheticData, Cifar100LikeHasTwentyClasses) {
+    auto cfg = data::DatasetConfig::cifar100_like();
+    cfg.train_size = 40;
+    cfg.test_size = 20;
+    data::SyntheticImageDataset ds(cfg);
+    std::int64_t max_label = 0;
+    for (const auto& s : ds.train()) max_label = std::max(max_label, s.label);
+    EXPECT_EQ(max_label, 19);
+}
+
+TEST(SyntheticData, MakeBatchStacksImages) {
+    data::SyntheticImageDataset ds(small_config());
+    const std::vector<std::size_t> idx{0, 3, 5};
+    const Tensor batch = ds.make_batch(ds.train(), idx);
+    EXPECT_EQ(batch.dim(0), 3);
+    EXPECT_EQ(batch.dim(1), 3);
+    EXPECT_EQ(batch.dim(2), 16);
+    // Row 1 equals sample 3.
+    const auto& img = ds.train()[3].image;
+    for (std::int64_t i = 0; i < img.numel(); ++i)
+        EXPECT_FLOAT_EQ(batch[img.numel() + i], img[i]);
+    const auto labels = ds.make_labels(ds.train(), idx);
+    EXPECT_EQ(labels[2], ds.train()[5].label);
+}
+
+TEST(SyntheticData, StackImagesClampsCount) {
+    data::SyntheticImageDataset ds(small_config());
+    const Tensor batch = ds.stack_images(ds.test(), 9999);
+    EXPECT_EQ(batch.dim(0), static_cast<std::int64_t>(ds.test().size()));
+}
+
+}  // namespace
+}  // namespace c2pi

@@ -1,0 +1,394 @@
+// Tests for the mini-BFV stack: modular arithmetic, NTT round-trips and
+// negacyclic product property, BFV encrypt/decrypt correctness over the
+// full 2^64 plaintext ring, homomorphic conv/matvec against plaintext
+// reference, mod-switch, and serialized-size accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "he/bfv.hpp"
+#include "he/encoding.hpp"
+
+namespace c2pi::he {
+namespace {
+
+// ---------------------------------------------------------------- modmath ---
+
+TEST(ModMath, MulModMatchesInt128) {
+    c2pi::Rng rng(1);
+    const u64 p = next_ntt_prime(1ULL << 49, 1 << 13);
+    for (int i = 0; i < 200; ++i) {
+        const u64 a = rng.next_u64() % p;
+        const u64 b = rng.next_u64() % p;
+        EXPECT_EQ(mul_mod(a, b, p), static_cast<u64>((static_cast<u128>(a) * b) % p));
+    }
+}
+
+TEST(ModMath, ShoupMultiplicationAgrees) {
+    c2pi::Rng rng(2);
+    const u64 p = next_ntt_prime(1ULL << 49, 1 << 13);
+    for (int i = 0; i < 200; ++i) {
+        const u64 w = rng.next_u64() % p;
+        const u64 ws = shoup_precompute(w, p);
+        const u64 a = rng.next_u64() % p;
+        EXPECT_EQ(mul_mod_shoup(a, w, ws, p), mul_mod(a, w, p));
+    }
+}
+
+TEST(ModMath, PrimalityKnownValues) {
+    EXPECT_TRUE(is_prime(2));
+    EXPECT_TRUE(is_prime(1000000007ULL));
+    EXPECT_TRUE(is_prime((1ULL << 61) - 1));  // Mersenne prime
+    EXPECT_FALSE(is_prime(1));
+    EXPECT_FALSE(is_prime(561));         // Carmichael
+    EXPECT_FALSE(is_prime(3215031751ULL));  // strong pseudoprime to bases 2,3,5,7
+}
+
+TEST(ModMath, NttPrimeHasCorrectResidue) {
+    const u64 p = next_ntt_prime(1ULL << 49, 8192);
+    EXPECT_TRUE(is_prime(p));
+    EXPECT_EQ((p - 1) % 8192, 0U);
+}
+
+TEST(ModMath, PrimitiveRootHasOrderTwoN) {
+    const u64 two_n = 4096;
+    const u64 p = next_ntt_prime(1ULL << 49, two_n);
+    const u64 psi = find_primitive_root(p, two_n);
+    EXPECT_EQ(pow_mod(psi, two_n / 2, p), p - 1);  // psi^n = -1
+    EXPECT_EQ(pow_mod(psi, two_n, p), 1U);
+}
+
+TEST(ModMath, InverseIsInverse) {
+    const u64 p = next_ntt_prime(1ULL << 49, 4096);
+    for (const u64 a : {u64{2}, u64{12345}, u64{p - 1}}) {
+        EXPECT_EQ(mul_mod(a, inv_mod(a, p), p), 1U);
+    }
+}
+
+// -------------------------------------------------------------------- NTT ---
+
+class NttSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NttSizeTest, ForwardInverseRoundTrip) {
+    const std::size_t n = GetParam();
+    const u64 p = next_ntt_prime(1ULL << 49, 2 * n);
+    const NttTables tables(p, n);
+    c2pi::Rng rng(3);
+    std::vector<u64> a(n);
+    for (auto& v : a) v = rng.next_u64() % p;
+    auto b = a;
+    tables.forward(b);
+    tables.inverse(b);
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttSizeTest, ::testing::Values(16, 64, 256, 1024, 4096));
+
+TEST(Ntt, PointwiseProductIsNegacyclicConvolution) {
+    const std::size_t n = 32;
+    const u64 p = next_ntt_prime(1ULL << 49, 2 * n);
+    const NttTables tables(p, n);
+    c2pi::Rng rng(4);
+    std::vector<u64> a(n), b(n);
+    for (auto& v : a) v = rng.next_u64() % 1000;
+    for (auto& v : b) v = rng.next_u64() % 1000;
+
+    // Reference negacyclic product mod p.
+    std::vector<u64> want(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::size_t k = i + j;
+            const u64 prod = mul_mod(a[i], b[j], p);
+            if (k < n)
+                want[k] = add_mod(want[k], prod, p);
+            else
+                want[k - n] = sub_mod(want[k - n], prod, p);
+        }
+
+    auto fa = a, fb = b;
+    tables.forward(fa);
+    tables.forward(fb);
+    std::vector<u64> fc(n);
+    for (std::size_t i = 0; i < n; ++i) fc[i] = mul_mod(fa[i], fb[i], p);
+    tables.inverse(fc);
+    EXPECT_EQ(fc, want);
+}
+
+// -------------------------------------------------------------------- BFV ---
+
+BfvContext::Params small_params() {
+    BfvContext::Params p;
+    p.n = 256;
+    p.limbs = 4;
+    return p;
+}
+
+TEST(Bfv, EncryptDecryptRoundTripSmallValues) {
+    const BfvContext ctx(small_params());
+    crypto::ChaCha20Prg prg(crypto::Block128{1, 2});
+    const SecretKey sk = ctx.keygen(prg);
+    std::vector<Ring> plain(ctx.n());
+    for (std::size_t i = 0; i < plain.size(); ++i) plain[i] = i * 3;
+    const Ciphertext ct = ctx.encrypt(plain, sk, prg);
+    EXPECT_EQ(ctx.decrypt(ct, sk), plain);
+}
+
+TEST(Bfv, EncryptDecryptFullRangeRingValues) {
+    const BfvContext ctx(small_params());
+    crypto::ChaCha20Prg prg(crypto::Block128{3, 4});
+    const SecretKey sk = ctx.keygen(prg);
+    c2pi::Rng rng(5);
+    std::vector<Ring> plain(ctx.n());
+    for (auto& v : plain) v = rng.next_u64();  // uniform shares: full range
+    const Ciphertext ct = ctx.encrypt(plain, sk, prg);
+    EXPECT_EQ(ctx.decrypt(ct, sk), plain);
+}
+
+TEST(Bfv, HomomorphicPlainMultiplyMatchesNegacyclicRingProduct) {
+    const BfvContext ctx(small_params());
+    crypto::ChaCha20Prg prg(crypto::Block128{5, 6});
+    const SecretKey sk = ctx.keygen(prg);
+    c2pi::Rng rng(6);
+    std::vector<Ring> plain(ctx.n()), weight(ctx.n(), 0);
+    for (auto& v : plain) v = rng.next_u64();
+    for (std::size_t i = 0; i < 20; ++i)
+        weight[i] = static_cast<Ring>(static_cast<std::int64_t>(rng.next_u64() % 4001) - 2000);
+
+    Ciphertext ct = ctx.encrypt(plain, sk, prg);
+    ctx.to_ntt(ct);
+    Ciphertext acc = ctx.make_accumulator();
+    const RnsPoly w = ctx.lift_to_ntt(weight);
+    ctx.multiply_plain_accumulate(ct, w, acc);
+    ctx.from_ntt(acc);
+    const auto got = ctx.decrypt(acc, sk);
+
+    // Negacyclic product over Z_{2^64}.
+    std::vector<Ring> want(ctx.n(), 0);
+    for (std::size_t i = 0; i < ctx.n(); ++i) {
+        if (weight[i] == 0 && i >= 20) continue;
+        for (std::size_t j = 0; j < ctx.n(); ++j) {
+            const Ring prod = plain[j] * weight[i];
+            const std::size_t k = i + j;
+            if (k < ctx.n())
+                want[k] += prod;
+            else
+                want[k - ctx.n()] -= prod;
+        }
+    }
+    EXPECT_EQ(got, want);
+}
+
+TEST(Bfv, AddPlainFoldsIntoMessage) {
+    const BfvContext ctx(small_params());
+    crypto::ChaCha20Prg prg(crypto::Block128{7, 8});
+    const SecretKey sk = ctx.keygen(prg);
+    std::vector<Ring> plain(ctx.n(), 10), extra(ctx.n());
+    c2pi::Rng rng(7);
+    for (auto& v : extra) v = rng.next_u64();
+    Ciphertext ct = ctx.encrypt(plain, sk, prg);
+    ctx.add_plain_inplace(ct, extra);
+    const auto got = ctx.decrypt(ct, sk);
+    for (std::size_t i = 0; i < ctx.n(); ++i) EXPECT_EQ(got[i], plain[i] + extra[i]);
+}
+
+TEST(Bfv, ModSwitchPreservesMessage) {
+    const BfvContext ctx(small_params());
+    crypto::ChaCha20Prg prg(crypto::Block128{9, 10});
+    const SecretKey sk = ctx.keygen(prg);
+    c2pi::Rng rng(8);
+    std::vector<Ring> plain(ctx.n());
+    for (auto& v : plain) v = rng.next_u64();
+    Ciphertext ct = ctx.encrypt(plain, sk, prg);
+    ctx.mod_switch_to_two_limbs(ct);
+    EXPECT_EQ(ct.active_limbs(), 2);
+    EXPECT_EQ(ctx.decrypt(ct, sk), plain);
+}
+
+TEST(Bfv, ModSwitchAfterMultiplyPreservesMessage) {
+    const BfvContext ctx(small_params());
+    crypto::ChaCha20Prg prg(crypto::Block128{11, 12});
+    const SecretKey sk = ctx.keygen(prg);
+    c2pi::Rng rng(9);
+    std::vector<Ring> plain(ctx.n()), weight(ctx.n(), 0);
+    for (auto& v : plain) v = rng.next_u64();
+    for (std::size_t i = 0; i < 16; ++i) weight[i] = rng.next_u64() % 1000;
+
+    Ciphertext ct = ctx.encrypt(plain, sk, prg);
+    ctx.to_ntt(ct);
+    Ciphertext acc = ctx.make_accumulator();
+    ctx.multiply_plain_accumulate(ct, ctx.lift_to_ntt(weight), acc);
+    ctx.from_ntt(acc);
+    const auto before = ctx.decrypt(acc, sk);
+    ctx.mod_switch_to_two_limbs(acc);
+    EXPECT_EQ(ctx.decrypt(acc, sk), before);
+}
+
+TEST(Bfv, SerializedSizesMatchSpec) {
+    const BfvContext ctx(small_params());
+    crypto::ChaCha20Prg prg(crypto::Block128{13, 14});
+    const SecretKey sk = ctx.keygen(prg);
+    std::vector<Ring> plain(ctx.n(), 1);
+    Ciphertext fresh = ctx.encrypt(plain, sk, prg);
+    // Fresh: c0 full (4 limbs * n * 8) + 32-byte seed.
+    EXPECT_EQ(ctx.serialized_bytes(fresh), 4U * ctx.n() * 8 + 32);
+    ctx.mod_switch_to_two_limbs(fresh);
+    // Switched response: both polys at 2 limbs.
+    EXPECT_EQ(ctx.serialized_bytes(fresh), 2U * (2U * ctx.n() * 8));
+}
+
+// ---------------------------------------------------------------- encoding ---
+
+/// Plaintext conv reference over the ring (exact arithmetic mod 2^64).
+std::vector<Ring> ring_conv_reference(const ConvGeometry& g, std::span<const Ring> x,
+                                      std::span<const Ring> w) {
+    std::vector<Ring> y(static_cast<std::size_t>(g.out_channels * g.out_h() * g.out_w()), 0);
+    for (std::int64_t o = 0; o < g.out_channels; ++o)
+        for (std::int64_t oy = 0; oy < g.out_h(); ++oy)
+            for (std::int64_t ox = 0; ox < g.out_w(); ++ox) {
+                Ring acc = 0;
+                for (std::int64_t c = 0; c < g.in_channels; ++c)
+                    for (std::int64_t ky = 0; ky < g.kernel; ++ky)
+                        for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+                            const std::int64_t iy = oy * g.stride - g.pad + ky;
+                            const std::int64_t ix = ox * g.stride - g.pad + kx;
+                            if (iy < 0 || iy >= g.height || ix < 0 || ix >= g.width) continue;
+                            acc += x[static_cast<std::size_t>((c * g.height + iy) * g.width + ix)] *
+                                   w[static_cast<std::size_t>(((o * g.in_channels + c) * g.kernel + ky) *
+                                                              g.kernel + kx)];
+                        }
+                y[static_cast<std::size_t>((o * g.out_h() + oy) * g.out_w() + ox)] = acc;
+            }
+    return y;
+}
+
+struct ConvEncCase {
+    std::int64_t c, hw, o, kernel, stride, pad;
+};
+
+class ConvEncodingTest : public ::testing::TestWithParam<ConvEncCase> {};
+
+TEST_P(ConvEncodingTest, HomomorphicConvMatchesRingReference) {
+    const auto p = GetParam();
+    BfvContext::Params params;
+    params.n = 1024;
+    params.limbs = 4;
+    const BfvContext ctx(params);
+    const ConvGeometry geo{.in_channels = p.c,
+                           .height = p.hw,
+                           .width = p.hw,
+                           .out_channels = p.o,
+                           .kernel = p.kernel,
+                           .stride = p.stride,
+                           .pad = p.pad};
+    const ConvEncoder enc(ctx, geo);
+
+    c2pi::Rng rng(11);
+    std::vector<Ring> x(static_cast<std::size_t>(p.c * p.hw * p.hw));
+    for (auto& v : x) v = rng.next_u64();  // full-range shares
+    std::vector<Ring> w(static_cast<std::size_t>(p.o * p.c * p.kernel * p.kernel));
+    for (auto& v : w)
+        v = static_cast<Ring>(static_cast<std::int64_t>(rng.next_u64() % 2001) - 1000);
+
+    crypto::ChaCha20Prg prg(crypto::Block128{15, 16});
+    const SecretKey sk = ctx.keygen(prg);
+
+    // One accumulator per output channel, summed over input groups.
+    std::vector<Ciphertext> input_cts;
+    for (std::int64_t g = 0; g < enc.num_groups(); ++g) {
+        Ciphertext ct = ctx.encrypt(enc.encode_input_group(x, g), sk, prg);
+        ctx.to_ntt(ct);
+        input_cts.push_back(std::move(ct));
+    }
+    const auto want = ring_conv_reference(geo, x, w);
+    for (std::int64_t o = 0; o < p.o; ++o) {
+        Ciphertext acc = ctx.make_accumulator();
+        for (std::int64_t g = 0; g < enc.num_groups(); ++g) {
+            ctx.multiply_plain_accumulate(input_cts[static_cast<std::size_t>(g)],
+                                          ctx.lift_to_ntt(enc.encode_weight(w, g, o)), acc);
+        }
+        ctx.from_ntt(acc);
+        ctx.mod_switch_to_two_limbs(acc);
+        const auto poly = ctx.decrypt(acc, sk);
+        const auto got = enc.gather_outputs(poly);
+        for (std::int64_t i = 0; i < geo.out_h() * geo.out_w(); ++i) {
+            EXPECT_EQ(got[static_cast<std::size_t>(i)],
+                      want[static_cast<std::size_t>(o * geo.out_h() * geo.out_w() + i)])
+                << "o=" << o << " i=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ConvEncodingTest,
+                         ::testing::Values(ConvEncCase{3, 8, 4, 3, 1, 1},    // one group
+                                           ConvEncCase{8, 8, 2, 3, 1, 1},    // multiple groups
+                                           ConvEncCase{1, 8, 3, 3, 1, 0},    // no padding
+                                           ConvEncCase{2, 9, 2, 3, 2, 1},    // stride 2
+                                           ConvEncCase{4, 6, 5, 5, 1, 2},    // 5x5 kernel
+                                           ConvEncCase{2, 30, 2, 3, 1, 1})); // plane ~ n boundary
+
+TEST(MatVecEncoding, HomomorphicMatVecMatchesRingReference) {
+    BfvContext::Params params;
+    params.n = 256;
+    const BfvContext ctx(params);
+    const std::int64_t in = 48, out = 20;
+    const MatVecEncoder enc(ctx, in, out);
+
+    c2pi::Rng rng(12);
+    std::vector<Ring> x(static_cast<std::size_t>(in));
+    for (auto& v : x) v = rng.next_u64();
+    std::vector<Ring> w(static_cast<std::size_t>(in * out));
+    for (auto& v : w)
+        v = static_cast<Ring>(static_cast<std::int64_t>(rng.next_u64() % 2001) - 1000);
+
+    crypto::ChaCha20Prg prg(crypto::Block128{17, 18});
+    const SecretKey sk = ctx.keygen(prg);
+    Ciphertext ct = ctx.encrypt(enc.encode_input(x), sk, prg);
+    ctx.to_ntt(ct);
+
+    std::vector<Ring> got;
+    for (std::int64_t b = 0; b < enc.num_blocks(); ++b) {
+        Ciphertext acc = ctx.make_accumulator();
+        ctx.multiply_plain_accumulate(ct, ctx.lift_to_ntt(enc.encode_weight_block(w, b)), acc);
+        ctx.from_ntt(acc);
+        const auto poly = ctx.decrypt(acc, sk);
+        const auto rows = enc.gather_outputs(poly, b);
+        got.insert(got.end(), rows.begin(), rows.end());
+    }
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(out));
+    for (std::int64_t o = 0; o < out; ++o) {
+        Ring want = 0;
+        for (std::int64_t j = 0; j < in; ++j)
+            want += x[static_cast<std::size_t>(j)] * w[static_cast<std::size_t>(o * in + j)];
+        EXPECT_EQ(got[static_cast<std::size_t>(o)], want) << o;
+    }
+}
+
+TEST(ConvEncoding, GroupingRespectsRingCapacity) {
+    BfvContext::Params params;
+    params.n = 1024;
+    const BfvContext ctx(params);
+    // 10x10 padded to 12x12 = 144; 1024/144 = 7 channels per group.
+    const ConvGeometry geo{.in_channels = 16, .height = 10, .width = 10, .out_channels = 1,
+                           .kernel = 3, .stride = 1, .pad = 1};
+    const ConvEncoder enc(ctx, geo);
+    EXPECT_EQ(enc.channels_per_group(), 7);
+    EXPECT_EQ(enc.num_groups(), 3);
+    EXPECT_LE(enc.channels_per_group() * geo.padded_h() * geo.padded_w(),
+              static_cast<std::int64_t>(ctx.n()));
+}
+
+TEST(ConvEncoding, ScatterGatherRoundTrip) {
+    BfvContext::Params params;
+    params.n = 256;
+    const BfvContext ctx(params);
+    const ConvGeometry geo{.in_channels = 1, .height = 6, .width = 6, .out_channels = 1,
+                           .kernel = 3, .stride = 1, .pad = 1};
+    const ConvEncoder enc(ctx, geo);
+    c2pi::Rng rng(13);
+    std::vector<Ring> vals(static_cast<std::size_t>(geo.out_h() * geo.out_w()));
+    for (auto& v : vals) v = rng.next_u64();
+    EXPECT_EQ(enc.gather_outputs(enc.scatter_outputs(vals)), vals);
+}
+
+}  // namespace
+}  // namespace c2pi::he

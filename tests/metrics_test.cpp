@@ -1,0 +1,109 @@
+// Tests for SSIM / PSNR / accuracy metrics, including the SSIM axioms the
+// boundary search relies on (identity => 1, noise monotonically degrades).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "metrics/ssim.hpp"
+
+namespace c2pi {
+namespace {
+
+Tensor test_image(std::uint64_t seed, std::int64_t hw = 16) {
+    // Smooth structured image: gradient + sinusoid (SSIM needs structure).
+    Rng rng(seed);
+    Tensor img({3, hw, hw});
+    const float phase = rng.uniform(0.0F, 6.28F);
+    for (std::int64_t c = 0; c < 3; ++c)
+        for (std::int64_t y = 0; y < hw; ++y)
+            for (std::int64_t x = 0; x < hw; ++x)
+                img[(c * hw + y) * hw + x] =
+                    0.5F + 0.3F * std::sin(0.7F * static_cast<float>(x + y) + phase) +
+                    0.1F * static_cast<float>(y) / static_cast<float>(hw);
+    return img;
+}
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+    const Tensor img = test_image(1);
+    EXPECT_NEAR(metrics::ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(Ssim, SymmetricInArguments) {
+    const Tensor a = test_image(1);
+    Tensor b = a;
+    Rng rng(2);
+    for (std::int64_t i = 0; i < b.numel(); ++i) b[i] += rng.normal(0.0F, 0.1F);
+    EXPECT_NEAR(metrics::ssim(a, b), metrics::ssim(b, a), 1e-12);
+}
+
+TEST(Ssim, BoundedAboveByOne) {
+    const Tensor a = test_image(3);
+    const Tensor b = test_image(4);
+    EXPECT_LE(metrics::ssim(a, b), 1.0 + 1e-9);
+}
+
+class SsimNoiseTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(SsimNoiseTest, NoiseDegradesSimilarity) {
+    const float sigma = GetParam();
+    const Tensor a = test_image(5);
+    Tensor b = a;
+    Rng rng(6);
+    for (std::int64_t i = 0; i < b.numel(); ++i) b[i] += rng.normal(0.0F, sigma);
+    const double s = metrics::ssim(a, b);
+    EXPECT_LT(s, 1.0);
+    // Heavier noise must score lower than lighter noise.
+    Tensor c = a;
+    for (std::int64_t i = 0; i < c.numel(); ++i) c[i] += rng.normal(0.0F, sigma * 3.0F);
+    EXPECT_LT(metrics::ssim(a, c), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, SsimNoiseTest, ::testing::Values(0.02F, 0.05F, 0.1F));
+
+TEST(Ssim, UnstructuredNoiseScoresLow) {
+    const Tensor a = test_image(7);
+    Rng rng(8);
+    const Tensor noise = Tensor::uniform(a.shape(), rng, 0.0F, 1.0F);
+    EXPECT_LT(metrics::ssim(a, noise), 0.35);
+}
+
+TEST(Ssim, AcceptsBatchOfOne) {
+    const Tensor a = test_image(9);
+    const Tensor b4 = a.reshaped({1, 3, 16, 16});
+    EXPECT_NEAR(metrics::ssim(b4, b4), 1.0, 1e-9);
+}
+
+TEST(Ssim, RejectsMismatchedShapes) {
+    const Tensor a = test_image(1, 16);
+    const Tensor b = test_image(1, 8);
+    EXPECT_THROW((void)metrics::ssim(a, b), Error);
+}
+
+TEST(Ssim, RejectsEvenWindow) {
+    const Tensor a = test_image(1);
+    metrics::SsimOptions opt;
+    opt.window = 8;
+    EXPECT_THROW((void)metrics::ssim(a, a, opt), Error);
+}
+
+TEST(Psnr, IdenticalImagesCapAt99) {
+    const Tensor a = test_image(2);
+    EXPECT_DOUBLE_EQ(metrics::psnr(a, a), 99.0);
+}
+
+TEST(Psnr, KnownMseGivesKnownPsnr) {
+    Tensor a({4}, {0, 0, 0, 0});
+    Tensor b({4}, {0.1F, 0.1F, 0.1F, 0.1F});
+    EXPECT_NEAR(metrics::psnr(a, b), 20.0, 1e-3);  // mse = 0.01 -> 20 dB
+}
+
+TEST(Accuracy, Top1CountsCorrectRows) {
+    Tensor logits({3, 4}, {0, 1, 0, 0, /**/ 5, 1, 0, 0, /**/ 0, 0, 0, 9});
+    EXPECT_DOUBLE_EQ(metrics::top1_accuracy(logits, {1, 0, 3}), 1.0);
+    EXPECT_NEAR(metrics::top1_accuracy(logits, {0, 0, 3}), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace c2pi

@@ -1,0 +1,290 @@
+// Unit + property tests for the tensor library: shape handling, matmul
+// against brute force, conv/pool forward against naive reference, and
+// gradient checks of every backward kernel via central finite differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace c2pi {
+namespace {
+
+using ops::ConvSpec;
+
+TEST(Tensor, ConstructionAndShape) {
+    Tensor t({2, 3, 4, 5});
+    EXPECT_EQ(t.numel(), 120);
+    EXPECT_EQ(t.rank(), 4);
+    EXPECT_EQ(t.dim(2), 4);
+    EXPECT_FLOAT_EQ(t[0], 0.0F);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+    EXPECT_THROW(Tensor({2, 0}), Error);
+    EXPECT_THROW(Tensor({-1}), Error);
+}
+
+TEST(Tensor, At4dIndexing) {
+    Tensor t({2, 3, 4, 4});
+    t.at(1, 2, 3, 3) = 7.0F;
+    EXPECT_FLOAT_EQ(t[t.numel() - 1], 7.0F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+    Rng rng(1);
+    const Tensor t = Tensor::randn({3, 8}, rng);
+    const Tensor r = t.reshaped({4, 6});
+    EXPECT_EQ(r.numel(), t.numel());
+    for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], r[i]);
+    EXPECT_THROW(t.reshaped({5, 5}), Error);
+}
+
+TEST(Tensor, AllcloseDetectsDifferences) {
+    Tensor a({4}), b({4});
+    EXPECT_TRUE(a.allclose(b));
+    b[2] = 1e-3F;
+    EXPECT_FALSE(a.allclose(b, 1e-5F));
+    EXPECT_TRUE(a.allclose(b, 1e-2F));
+}
+
+TEST(TensorOps, ElementwiseArithmetic) {
+    Tensor a({2, 2}, {1, 2, 3, 4});
+    Tensor b({2, 2}, {5, 6, 7, 8});
+    EXPECT_TRUE(ops::add(a, b).allclose(Tensor({2, 2}, {6, 8, 10, 12})));
+    EXPECT_TRUE(ops::sub(b, a).allclose(Tensor({2, 2}, {4, 4, 4, 4})));
+    EXPECT_TRUE(ops::mul(a, b).allclose(Tensor({2, 2}, {5, 12, 21, 32})));
+    EXPECT_TRUE(ops::scale(a, 2.0F).allclose(Tensor({2, 2}, {2, 4, 6, 8})));
+}
+
+TEST(TensorOps, Reductions) {
+    Tensor a({4}, {1, -2, 3, -4});
+    EXPECT_FLOAT_EQ(ops::sum(a), -2.0F);
+    EXPECT_FLOAT_EQ(ops::mean(a), -0.5F);
+    EXPECT_FLOAT_EQ(ops::max_abs(a), 4.0F);
+    EXPECT_DOUBLE_EQ(ops::squared_distance(a, a), 0.0);
+}
+
+TEST(TensorOps, MatmulMatchesBruteForce) {
+    Rng rng(2);
+    const Tensor a = Tensor::randn({5, 7}, rng);
+    const Tensor b = Tensor::randn({7, 3}, rng);
+    const Tensor c = ops::matmul(a, b);
+    for (std::int64_t i = 0; i < 5; ++i)
+        for (std::int64_t j = 0; j < 3; ++j) {
+            float acc = 0.0F;
+            for (std::int64_t k = 0; k < 7; ++k) acc += a.at(i, k) * b.at(k, j);
+            EXPECT_NEAR(c.at(i, j), acc, 1e-4F);
+        }
+}
+
+TEST(TensorOps, MatmulShapeChecks) {
+    Tensor a({2, 3}), b({4, 2});
+    EXPECT_THROW(ops::matmul(a, b), Error);
+}
+
+TEST(TensorOps, TransposeRoundTrip) {
+    Rng rng(3);
+    const Tensor a = Tensor::randn({4, 6}, rng);
+    EXPECT_TRUE(ops::transpose2d(ops::transpose2d(a)).allclose(a));
+}
+
+/// Naive direct convolution used as the reference implementation.
+Tensor conv_reference(const Tensor& x, const Tensor& w, const Tensor& bias, const ConvSpec& s) {
+    const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
+    const std::int64_t o = w.dim(0), oh = s.out_dim(h), ow = s.out_dim(ww);
+    Tensor y({n, o, oh, ow});
+    for (std::int64_t b = 0; b < n; ++b)
+        for (std::int64_t oc = 0; oc < o; ++oc)
+            for (std::int64_t oy = 0; oy < oh; ++oy)
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    float acc = bias.empty() ? 0.0F : bias[oc];
+                    for (std::int64_t ic = 0; ic < c; ++ic)
+                        for (std::int64_t ky = 0; ky < s.kernel; ++ky)
+                            for (std::int64_t kx = 0; kx < s.kernel; ++kx) {
+                                const std::int64_t iy = oy * s.stride - s.pad + ky * s.dilation;
+                                const std::int64_t ix = ox * s.stride - s.pad + kx * s.dilation;
+                                if (iy < 0 || iy >= h || ix < 0 || ix >= ww) continue;
+                                acc += x.at(b, ic, iy, ix) * w.at(oc, ic, ky, kx);
+                            }
+                    y.at(b, oc, oy, ox) = acc;
+                }
+    return y;
+}
+
+struct ConvCase {
+    std::int64_t in_c, out_c, hw, kernel, stride, pad, dilation;
+};
+
+class ConvParamTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvParamTest, MatchesNaiveReference) {
+    const auto p = GetParam();
+    Rng rng(17);
+    const ConvSpec spec{.kernel = p.kernel, .stride = p.stride, .pad = p.pad, .dilation = p.dilation};
+    const Tensor x = Tensor::randn({2, p.in_c, p.hw, p.hw}, rng);
+    const Tensor w = Tensor::randn({p.out_c, p.in_c, p.kernel, p.kernel}, rng);
+    const Tensor bias = Tensor::randn({p.out_c}, rng);
+    const Tensor got = ops::conv2d(x, w, bias, spec);
+    const Tensor want = conv_reference(x, w, bias, spec);
+    EXPECT_TRUE(got.allclose(want, 1e-3F)) << "conv mismatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(ConvShapes, ConvParamTest,
+                         ::testing::Values(ConvCase{3, 8, 8, 3, 1, 1, 1},
+                                           ConvCase{1, 4, 7, 3, 1, 1, 1},
+                                           ConvCase{4, 4, 8, 1, 1, 0, 1},
+                                           ConvCase{2, 6, 9, 3, 2, 1, 1},
+                                           ConvCase{3, 5, 10, 5, 1, 2, 1},
+                                           ConvCase{2, 3, 12, 3, 1, 2, 2},
+                                           ConvCase{4, 2, 8, 3, 1, 3, 3}));
+
+TEST(TensorOps, MaxPoolForward) {
+    Tensor x({1, 1, 4, 4}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+    const auto res = ops::maxpool2d(x, 2, 2);
+    EXPECT_TRUE(res.output.allclose(Tensor({1, 1, 2, 2}, {6, 8, 14, 16})));
+}
+
+TEST(TensorOps, AvgPoolForward) {
+    Tensor x({1, 1, 4, 4}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+    const auto y = ops::avgpool2d(x, 2, 2);
+    EXPECT_TRUE(y.allclose(Tensor({1, 1, 2, 2}, {3.5F, 5.5F, 11.5F, 13.5F})));
+}
+
+TEST(TensorOps, UpsampleNearest) {
+    Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+    const Tensor y = ops::upsample_nearest(x, 2);
+    EXPECT_TRUE(y.allclose(Tensor({1, 1, 4, 4}, {1, 1, 2, 2, 1, 1, 2, 2, 3, 3, 4, 4, 3, 3, 4, 4})));
+}
+
+TEST(TensorOps, ReluForwardBackward) {
+    Tensor x({4}, {-1, 0, 2, -3});
+    EXPECT_TRUE(ops::relu(x).allclose(Tensor({4}, {0, 0, 2, 0})));
+    Tensor g({4}, {1, 1, 1, 1});
+    EXPECT_TRUE(ops::relu_backward(g, x).allclose(Tensor({4}, {0, 0, 1, 0})));
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne) {
+    Rng rng(5);
+    const Tensor logits = Tensor::randn({6, 10}, rng, 3.0F);
+    const Tensor p = ops::softmax(logits);
+    for (std::int64_t i = 0; i < 6; ++i) {
+        float row = 0.0F;
+        for (std::int64_t j = 0; j < 10; ++j) {
+            EXPECT_GE(p.at(i, j), 0.0F);
+            row += p.at(i, j);
+        }
+        EXPECT_NEAR(row, 1.0F, 1e-5F);
+    }
+}
+
+TEST(TensorOps, CrossEntropyGradientMatchesFiniteDifference) {
+    Rng rng(6);
+    Tensor logits = Tensor::randn({3, 5}, rng);
+    const std::vector<std::int64_t> labels{1, 4, 0};
+    const auto base = ops::softmax_cross_entropy(logits, labels);
+    const float eps = 1e-3F;
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+        Tensor lp = logits, lm = logits;
+        lp[i] += eps;
+        lm[i] -= eps;
+        const float num =
+            (ops::softmax_cross_entropy(lp, labels).loss - ops::softmax_cross_entropy(lm, labels).loss) /
+            (2 * eps);
+        EXPECT_NEAR(base.grad_logits[i], num, 5e-3F);
+    }
+}
+
+TEST(TensorOps, MseLossAndGradient) {
+    Tensor a({3}, {1, 2, 3});
+    Tensor b({3}, {1, 0, 6});
+    const auto r = ops::mse_loss(a, b);
+    EXPECT_NEAR(r.loss, (0 + 4 + 9) / 3.0F, 1e-6F);
+    EXPECT_NEAR(r.grad_logits[1], 2.0F * 2 / 3, 1e-6F);
+    EXPECT_NEAR(r.grad_logits[2], 2.0F * -3 / 3, 1e-6F);
+}
+
+/// Finite-difference check of conv backward (input and weight gradients)
+/// through a scalar loss L = sum(conv(x, w)).
+TEST(TensorOps, ConvBackwardMatchesFiniteDifference) {
+    Rng rng(8);
+    const ConvSpec spec{.kernel = 3, .stride = 1, .pad = 1, .dilation = 1};
+    Tensor x = Tensor::randn({1, 2, 5, 5}, rng);
+    Tensor w = Tensor::randn({3, 2, 3, 3}, rng);
+    Tensor bias = Tensor::randn({3}, rng);
+
+    const Tensor y = ops::conv2d(x, w, bias, spec);
+    Tensor gy(y.shape());
+    gy.fill(1.0F);
+
+    const Tensor gx = ops::conv2d_backward_input(gy, w, x.shape(), spec);
+    Tensor gw({3, 2, 3, 3}), gb({3});
+    ops::conv2d_backward_params(gy, x, spec, gw, gb);
+
+    const float eps = 1e-2F;
+    for (const std::int64_t i : {0L, 7L, 24L, 49L}) {
+        Tensor xp = x, xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const float num = (ops::sum(ops::conv2d(xp, w, bias, spec)) -
+                           ops::sum(ops::conv2d(xm, w, bias, spec))) /
+                          (2 * eps);
+        EXPECT_NEAR(gx[i], num, 2e-2F);
+    }
+    for (const std::int64_t i : {0L, 5L, 17L, 53L}) {
+        Tensor wp = w, wm = w;
+        wp[i] += eps;
+        wm[i] -= eps;
+        const float num = (ops::sum(ops::conv2d(x, wp, bias, spec)) -
+                           ops::sum(ops::conv2d(x, wm, bias, spec))) /
+                          (2 * eps);
+        EXPECT_NEAR(gw[i], num, 2e-2F);
+    }
+    for (std::int64_t i = 0; i < 3; ++i) EXPECT_NEAR(gb[i], 25.0F, 1e-3F);
+}
+
+TEST(TensorOps, MaxPoolBackwardRoutesToArgmax) {
+    Tensor x({1, 1, 2, 2}, {1, 5, 2, 3});
+    const auto res = ops::maxpool2d(x, 2, 2);
+    Tensor gy({1, 1, 1, 1}, {10});
+    const Tensor gx = ops::maxpool2d_backward(gy, x.shape(), res.argmax);
+    EXPECT_TRUE(gx.allclose(Tensor({1, 1, 2, 2}, {0, 10, 0, 0})));
+}
+
+TEST(TensorOps, AvgPoolBackwardSpreadsUniformly) {
+    Tensor gy({1, 1, 1, 1}, {8});
+    const Tensor gx = ops::avgpool2d_backward(gy, {1, 1, 2, 2}, 2, 2);
+    EXPECT_TRUE(gx.allclose(Tensor({1, 1, 2, 2}, {2, 2, 2, 2})));
+}
+
+TEST(TensorOps, UpsampleBackwardAccumulates) {
+    Tensor gy({1, 1, 2, 2}, {1, 2, 3, 4});
+    const Tensor gx = ops::upsample_nearest_backward(gy, 2);
+    EXPECT_EQ(gx.dim(2), 1);
+    EXPECT_FLOAT_EQ(gx[0], 10.0F);
+}
+
+TEST(TensorOps, Im2ColCol2ImAdjoint) {
+    // <im2col(x), y> == <x, col2im(y)> — adjointness property that makes
+    // conv backward correct for arbitrary geometry.
+    Rng rng(9);
+    const ConvSpec spec{.kernel = 3, .stride = 2, .pad = 1, .dilation = 1};
+    const Tensor x = Tensor::randn({1, 2, 6, 6}, rng);
+    const Tensor cx = ops::im2col(x, spec);
+    const Tensor y = Tensor::randn(cx.shape(), rng);
+    const Tensor ay = ops::col2im(y, x.shape(), spec);
+    double lhs = 0.0, rhs = 0.0;
+    for (std::int64_t i = 0; i < cx.numel(); ++i) lhs += static_cast<double>(cx[i]) * y[i];
+    for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * ay[i];
+    EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(TensorOps, ClampBounds) {
+    Tensor a({4}, {-2, 0.5F, 2, 0});
+    EXPECT_TRUE(ops::clamp(a, 0.0F, 1.0F).allclose(Tensor({4}, {0, 0.5F, 1, 0})));
+}
+
+}  // namespace
+}  // namespace c2pi
