@@ -128,7 +128,7 @@ struct Scale {
 }
 
 /// Integer conv-id cut points 1..n-1 (the x-axis of Figs. 1/4/5/6/7/8).
-[[nodiscard]] inline std::vector<nn::CutPoint> conv_id_cuts(nn::Sequential& model) {
+[[nodiscard]] inline std::vector<nn::CutPoint> conv_id_cuts(const nn::Sequential& model) {
     std::vector<nn::CutPoint> cuts;
     for (std::int64_t i = 1; i < model.num_linear_ops(); ++i)
         cuts.push_back({.linear_index = i, .after_relu = false});

@@ -15,8 +15,9 @@ struct Measurement {
     double lan = 0.0, wan = 0.0, comm_mb = 0.0;
 };
 
-Measurement measure(pi::PiEngine& engine, const Tensor& input) {
-    const auto res = engine.run(input);
+Measurement measure(const pi::CompiledModel& compiled, const pi::SessionConfig& config,
+                    const Tensor& input) {
+    const auto res = pi::run_private_inference(compiled, config, input);
     Measurement m;
     m.lan = res.stats.latency_seconds(net::NetworkModel::lan());
     m.wan = res.stats.latency_seconds(net::NetworkModel::wan());
@@ -52,24 +53,25 @@ int main() {
         std::printf("  boundaries: sigma=0.2 -> conv %.1f, sigma=0.3 -> conv %.1f\n",
                     b02.as_decimal(), b03.as_decimal());
 
+        // Compile ONCE per boundary; the artifacts are backend-agnostic and
+        // serve both the Delphi and Cheetah sessions below.
+        const Shape chw{3, bench::scale().image_size, bench::scale().image_size};
+        const std::size_t ring = bench::scale().he_ring_degree;
+        const pi::CompiledModel full(model, {.input_chw = chw, .he_ring_degree = ring});
+        const pi::CompiledModel c2pi02(model,
+                                       {.input_chw = chw, .boundary = b02, .he_ring_degree = ring});
+        const pi::CompiledModel c2pi03(model,
+                                       {.input_chw = chw, .boundary = b03, .he_ring_degree = ring});
+
         for (const pi::PiBackend backend : {pi::PiBackend::kDelphi, pi::PiBackend::kCheetah}) {
             std::printf(" %s:\n", pi::backend_name(backend));
-            pi::PiEngine::Options opts;
-            opts.backend = backend;
-            opts.he_ring_degree = bench::scale().he_ring_degree;
+            const pi::SessionConfig full_cfg{.backend = backend};
+            const pi::SessionConfig cut_cfg{.backend = backend, .noise_lambda = 0.1F};
 
-            pi::PiEngine full(model, opts);
-            const Measurement base = measure(full, input);
+            const Measurement base = measure(full, full_cfg, input);
             print_row("full PI", base, base);
-
-            opts.boundary = b02;
-            opts.noise_lambda = 0.1F;
-            pi::PiEngine c2pi02(model, opts);
-            print_row("C2PI (s=0.2)", measure(c2pi02, input), base);
-
-            opts.boundary = b03;
-            pi::PiEngine c2pi03(model, opts);
-            print_row("C2PI (s=0.3)", measure(c2pi03, input), base);
+            print_row("C2PI (s=0.2)", measure(c2pi02, cut_cfg, input), base);
+            print_row("C2PI (s=0.3)", measure(c2pi03, cut_cfg, input), base);
         }
     }
     bench::print_rule();

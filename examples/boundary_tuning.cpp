@@ -48,8 +48,10 @@ int main() {
     pi::C2piOptions base;
     base.backend = pi::PiBackend::kCheetah;
     base.he_ring_degree = 1024;
-    pi::PiEngine full = pi::make_full_pi_engine(model, base.backend, base);
-    const auto full_res = full.run(input);
+    const pi::CompiledModel full(model,
+                                 {.input_chw = {3, 16, 16}, .he_ring_degree = base.he_ring_degree});
+    const auto full_res =
+        pi::run_private_inference(full, pi::SessionConfig{.backend = base.backend}, input);
     const double full_wan = full_res.stats.latency_seconds(net::NetworkModel::wan());
     const double full_mb = static_cast<double>(full_res.stats.total_bytes()) / (1024.0 * 1024.0);
     std::printf("%8s  %10s  %10s  %12s  %12s\n", "sigma", "boundary", "accuracy", "WAN latency",

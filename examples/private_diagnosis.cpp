@@ -60,12 +60,13 @@ int main() {
     const Tensor scan = scans.test()[3].image.reshaped({1, 3, 32, 32});
 
     // Full PI baseline: every layer under MPC (the paper's special case of
-    // C2PI with the boundary at the last layer).
-    pi::PiEngine::Options full_opts;
-    full_opts.backend = pi::PiBackend::kCheetah;
+    // C2PI with the boundary at the last layer). The model is compiled
+    // exactly once per boundary; sessions then serve against the const
+    // artifact.
+    const pi::SessionConfig cheetah{.backend = pi::PiBackend::kCheetah};
     std::printf("Full private inference (Cheetah backend) ...\n");
-    pi::PiEngine full(model, full_opts);
-    const auto full_res = full.run(scan);
+    const pi::CompiledModel full(model, {.input_chw = {3, 32, 32}});
+    const auto full_res = pi::run_private_inference(full, cheetah, scan);
     report("full PI", full_res, nullptr);
 
     // C2PI at two privacy levels (boundaries as Algorithm 1 would pick for
@@ -76,12 +77,11 @@ int main() {
                                                {.linear_index = 10, .after_relu = false}},
           std::pair<const char*, nn::CutPoint>{"C2PI (aggressive)",
                                                {.linear_index = 6, .after_relu = false}}}) {
-        pi::PiEngine::Options opts = full_opts;
-        opts.boundary = cut;
-        opts.noise_lambda = 0.1F;
         std::printf("%s: crypto layers up to conv %.1f ...\n", label, cut.as_decimal());
-        pi::PiEngine engine(model, opts);
-        const auto res = engine.run(scan);
+        const pi::CompiledModel compiled(model, {.input_chw = {3, 32, 32}, .boundary = cut});
+        pi::SessionConfig config = cheetah;
+        config.noise_lambda = 0.1F;
+        const auto res = pi::run_private_inference(compiled, config, scan);
         report(label, res, &full_res);
 
         // Both settings must agree with full PI on the diagnosis.

@@ -46,6 +46,11 @@ public:
 
     /// Compute the layer output; caches activations needed by backward().
     virtual Tensor forward(const Tensor& x) = 0;
+    /// Inference-only forward: identical math to forward() but touches no
+    /// caches, so it is const and safe to call concurrently from many
+    /// threads on a shared model (the PI serving path relies on this).
+    /// backward() after infer() is invalid — use forward() when training.
+    [[nodiscard]] virtual Tensor infer(const Tensor& x) const = 0;
     /// Propagate gradients; returns dL/dx and accumulates parameter grads.
     /// Must be called after forward() on the same input.
     virtual Tensor backward(const Tensor& grad_out) = 0;

@@ -26,6 +26,10 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, ops::ConvSpe
 
 Tensor Conv2d::forward(const Tensor& x) {
     cached_input_ = x;
+    return infer(x);
+}
+
+Tensor Conv2d::infer(const Tensor& x) const {
     return ops::conv2d(x, weight_.value, with_bias_ ? bias_.value : Tensor{}, spec_);
 }
 
@@ -64,6 +68,11 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bo
 Tensor Linear::forward(const Tensor& x) {
     require(x.rank() == 2 && x.dim(1) == in_features(), "linear input shape mismatch");
     cached_input_ = x;
+    return infer(x);
+}
+
+Tensor Linear::infer(const Tensor& x) const {
+    require(x.rank() == 2 && x.dim(1) == in_features(), "linear input shape mismatch");
     Tensor y = ops::matmul(x, ops::transpose2d(weight_.value));  // [n, out]
     if (with_bias_) {
         for (std::int64_t i = 0; i < y.dim(0); ++i)
@@ -99,8 +108,10 @@ std::string Linear::describe() const {
 
 Tensor Relu::forward(const Tensor& x) {
     cached_input_ = x;
-    return ops::relu(x);
+    return infer(x);
 }
+
+Tensor Relu::infer(const Tensor& x) const { return ops::relu(x); }
 
 Tensor Relu::backward(const Tensor& grad_out) {
     require(!cached_input_.empty(), "backward before forward");
@@ -114,6 +125,10 @@ Tensor MaxPool2d::forward(const Tensor& x) {
     auto res = ops::maxpool2d(x, kernel_, stride_);
     cached_argmax_ = std::move(res.argmax);
     return std::move(res.output);
+}
+
+Tensor MaxPool2d::infer(const Tensor& x) const {
+    return std::move(ops::maxpool2d(x, kernel_, stride_).output);
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
@@ -131,8 +146,10 @@ std::string MaxPool2d::describe() const {
 
 Tensor AvgPool2d::forward(const Tensor& x) {
     cached_shape_ = x.shape();
-    return ops::avgpool2d(x, kernel_, stride_);
+    return infer(x);
 }
+
+Tensor AvgPool2d::infer(const Tensor& x) const { return ops::avgpool2d(x, kernel_, stride_); }
 
 Tensor AvgPool2d::backward(const Tensor& grad_out) {
     require(!cached_shape_.empty(), "backward before forward");
@@ -149,6 +166,10 @@ std::string AvgPool2d::describe() const {
 
 Tensor Flatten::forward(const Tensor& x) {
     cached_shape_ = x.shape();
+    return infer(x);
+}
+
+Tensor Flatten::infer(const Tensor& x) const {
     return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
 }
 
@@ -159,7 +180,9 @@ Tensor Flatten::backward(const Tensor& grad_out) {
 
 // -------------------------------------------------------------- Upsample ---
 
-Tensor Upsample::forward(const Tensor& x) { return ops::upsample_nearest(x, factor_); }
+Tensor Upsample::forward(const Tensor& x) { return infer(x); }
+
+Tensor Upsample::infer(const Tensor& x) const { return ops::upsample_nearest(x, factor_); }
 
 Tensor Upsample::backward(const Tensor& grad_out) {
     return ops::upsample_nearest_backward(grad_out, factor_);
@@ -175,6 +198,10 @@ std::string Upsample::describe() const {
 
 Tensor Reshape::forward(const Tensor& x) {
     cached_shape_ = x.shape();
+    return infer(x);
+}
+
+Tensor Reshape::infer(const Tensor& x) const {
     Shape out{x.dim(0)};
     out.insert(out.end(), target_.begin(), target_.end());
     return x.reshaped(std::move(out));
@@ -207,6 +234,12 @@ Tensor ResidualBlock::forward(const Tensor& x) {
     const Tensor skip = projection_ ? projection_->forward(x) : x;
     cached_pre_activation_ = ops::add(h, skip);
     return ops::relu(cached_pre_activation_);
+}
+
+Tensor ResidualBlock::infer(const Tensor& x) const {
+    const Tensor h = conv2_->infer(relu1_->infer(conv1_->infer(x)));
+    const Tensor skip = projection_ ? projection_->infer(x) : x;
+    return ops::relu(ops::add(h, skip));
 }
 
 Tensor ResidualBlock::backward(const Tensor& grad_out) {

@@ -17,6 +17,7 @@ public:
            bool with_bias = true);
 
     Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
     Tensor backward(const Tensor& grad_out) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
     [[nodiscard]] LayerKind kind() const override { return LayerKind::kConv2d; }
@@ -44,6 +45,7 @@ public:
     Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool with_bias = true);
 
     Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
     Tensor backward(const Tensor& grad_out) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
     [[nodiscard]] LayerKind kind() const override { return LayerKind::kLinear; }
@@ -67,6 +69,7 @@ class Relu final : public Layer {
 public:
     Relu() = default;
     Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
     Tensor backward(const Tensor& grad_out) override;
     [[nodiscard]] LayerKind kind() const override { return LayerKind::kRelu; }
     [[nodiscard]] std::string describe() const override { return "ReLU"; }
@@ -79,6 +82,7 @@ class MaxPool2d final : public Layer {
 public:
     MaxPool2d(std::int64_t kernel, std::int64_t stride) : kernel_(kernel), stride_(stride) {}
     Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
     Tensor backward(const Tensor& grad_out) override;
     [[nodiscard]] LayerKind kind() const override { return LayerKind::kMaxPool; }
     [[nodiscard]] std::string describe() const override;
@@ -95,6 +99,7 @@ class AvgPool2d final : public Layer {
 public:
     AvgPool2d(std::int64_t kernel, std::int64_t stride) : kernel_(kernel), stride_(stride) {}
     Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
     Tensor backward(const Tensor& grad_out) override;
     [[nodiscard]] LayerKind kind() const override { return LayerKind::kAvgPool; }
     [[nodiscard]] std::string describe() const override;
@@ -111,6 +116,7 @@ class Flatten final : public Layer {
 public:
     Flatten() = default;
     Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
     Tensor backward(const Tensor& grad_out) override;
     [[nodiscard]] LayerKind kind() const override { return LayerKind::kFlatten; }
     [[nodiscard]] std::string describe() const override { return "Flatten"; }
@@ -124,6 +130,7 @@ class Upsample final : public Layer {
 public:
     explicit Upsample(std::int64_t factor) : factor_(factor) {}
     Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
     Tensor backward(const Tensor& grad_out) override;
     [[nodiscard]] LayerKind kind() const override { return LayerKind::kUpsample; }
     [[nodiscard]] std::string describe() const override;
@@ -138,6 +145,7 @@ class Reshape final : public Layer {
 public:
     explicit Reshape(Shape target_chw) : target_(std::move(target_chw)) {}
     Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
     Tensor backward(const Tensor& grad_out) override;
     [[nodiscard]] LayerKind kind() const override { return LayerKind::kReshape; }
     [[nodiscard]] std::string describe() const override;
@@ -156,6 +164,7 @@ public:
     ResidualBlock(std::int64_t in_channels, std::int64_t out_channels, Rng& rng);
 
     Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
     Tensor backward(const Tensor& grad_out) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
     [[nodiscard]] LayerKind kind() const override { return LayerKind::kResidualBlock; }

@@ -19,6 +19,15 @@ Tensor Sequential::forward_range(std::size_t begin, std::size_t end, const Tenso
     return h;
 }
 
+Tensor Sequential::infer(const Tensor& x) const { return infer_range(0, layers_.size(), x); }
+
+Tensor Sequential::infer_range(std::size_t begin, std::size_t end, const Tensor& x) const {
+    require(begin <= end && end <= layers_.size(), "infer_range out of bounds");
+    Tensor h = x;
+    for (std::size_t i = begin; i < end; ++i) h = layers_[i]->infer(h);
+    return h;
+}
+
 Tensor Sequential::backward_range(std::size_t begin, std::size_t end, const Tensor& grad) {
     require(begin <= end && end <= layers_.size(), "backward_range out of bounds");
     Tensor g = grad;
@@ -84,9 +93,9 @@ std::string Sequential::describe() const {
     return os.str();
 }
 
-Shape activation_shape(Sequential& model, const CutPoint& cut, const Shape& input_shape) {
+Shape activation_shape(const Sequential& model, const CutPoint& cut, const Shape& input_shape) {
     Tensor probe(input_shape);
-    return model.forward_prefix(cut, probe).shape();
+    return model.infer_range(0, model.flat_cut_index(cut) + 1, probe).shape();
 }
 
 }  // namespace c2pi::nn

@@ -54,6 +54,11 @@ public:
     [[nodiscard]] Tensor forward(const Tensor& x);
     /// Forward through flat layers [begin, end).
     [[nodiscard]] Tensor forward_range(std::size_t begin, std::size_t end, const Tensor& x);
+    /// Inference-only full forward: no activation caches are written, so
+    /// a const model can serve many threads concurrently (Layer::infer).
+    [[nodiscard]] Tensor infer(const Tensor& x) const;
+    /// Inference-only forward through flat layers [begin, end).
+    [[nodiscard]] Tensor infer_range(std::size_t begin, std::size_t end, const Tensor& x) const;
     /// Backward through flat layers [begin, end) in reverse order; returns
     /// dL/d(input of layer begin). forward_range over the same range must
     /// have run immediately before.
@@ -83,7 +88,8 @@ private:
     std::vector<LayerPtr> layers_;
 };
 
-/// Shape of M_l(x) for a given input shape, computed by a dry run.
-[[nodiscard]] Shape activation_shape(Sequential& model, const CutPoint& cut, const Shape& input_shape);
+/// Shape of M_l(x) for a given input shape, computed by a cache-free dry run.
+[[nodiscard]] Shape activation_shape(const Sequential& model, const CutPoint& cut,
+                                     const Shape& input_shape);
 
 }  // namespace c2pi::nn

@@ -4,7 +4,7 @@
 
 namespace c2pi::pi {
 
-std::vector<nn::CutPoint> candidate_cuts(nn::Sequential& model, bool include_half_points) {
+std::vector<nn::CutPoint> candidate_cuts(const nn::Sequential& model, bool include_half_points) {
     const auto linear_positions = model.linear_op_indices();
     std::vector<nn::CutPoint> cuts;
     const std::int64_t n = static_cast<std::int64_t>(linear_positions.size());

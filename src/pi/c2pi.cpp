@@ -3,31 +3,45 @@
 namespace c2pi::pi {
 
 namespace {
-PiEngine::Options engine_options(const nn::CutPoint& boundary, PiBackend backend,
-                                 const C2piOptions& options) {
-    PiEngine::Options opts;
-    opts.backend = backend;
-    opts.fmt = options.fmt;
-    opts.he_ring_degree = options.he_ring_degree;
-    opts.boundary = boundary;
-    opts.noise_lambda = options.boundary.noise_lambda;
-    opts.seed = options.seed;
-    return opts;
+
+CompiledModel::Options compile_options(const nn::CutPoint& boundary, const Shape& input_chw,
+                                       const C2piOptions& options) {
+    return CompiledModel::Options{.input_chw = input_chw,
+                                  .boundary = boundary,
+                                  .fmt = options.fmt,
+                                  .he_ring_degree = options.he_ring_degree};
 }
+
+SessionConfig session_config(const C2piOptions& options) {
+    return SessionConfig{.backend = options.backend,
+                         .noise_lambda = options.boundary.noise_lambda,
+                         .seed = options.seed};
+}
+
+Shape dataset_input_shape(const data::SyntheticImageDataset& dataset) {
+    require(!dataset.test().empty(), "dataset has no test samples to size the input from");
+    const Shape& s = dataset.test()[0].image.shape();
+    require(s.size() == 3, "dataset samples must be [C,H,W] images");
+    return s;
+}
+
 }  // namespace
 
 C2piSystem::C2piSystem(nn::Sequential& model, const data::SyntheticImageDataset& dataset,
                        const attack::IdpaFactory& make_attack, const C2piOptions& options)
     : boundary_(search_boundary(model, dataset, make_attack, options.boundary)),
-      engine_(model, engine_options(boundary_.boundary, options.backend, options)) {}
+      compiled_(model, compile_options(boundary_.boundary, dataset_input_shape(dataset), options)),
+      service_(compiled_, session_config(options)) {}
 
-C2piSystem::C2piSystem(nn::Sequential& model, const nn::CutPoint& boundary,
-                       const C2piOptions& options)
-    : boundary_(), engine_(model, engine_options(boundary, options.backend, options)) {
+C2piSystem::C2piSystem(const nn::Sequential& model, const nn::CutPoint& boundary,
+                       const Shape& input_chw, const C2piOptions& options)
+    : boundary_(), compiled_(model, compile_options(boundary, input_chw, options)),
+      service_(compiled_, session_config(options)) {
     boundary_.boundary = boundary;
 }
 
-PiEngine make_full_pi_engine(nn::Sequential& model, PiBackend backend, const C2piOptions& options) {
+PiEngine make_full_pi_engine(const nn::Sequential& model, PiBackend backend,
+                             const C2piOptions& options) {
     PiEngine::Options opts;
     opts.backend = backend;
     opts.fmt = options.fmt;

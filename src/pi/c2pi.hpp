@@ -2,14 +2,16 @@
 
 /// \file c2pi.hpp
 /// The top-level C2PI facade (paper Fig. 2): the server (a) searches for
-/// the crypto-clear boundary with Algorithm 1 + DINA, then (b) the two
-/// parties run the crypto layers under an existing PI backend and (c) the
-/// client reveals its noised share so the server finishes the clear
-/// layers alone. This header wires boundary search and the PI engine into
-/// one object — the API most examples use.
+/// the crypto-clear boundary with Algorithm 1 + DINA, then (b) compiles
+/// the model ONCE for that boundary into an immutable `CompiledModel`,
+/// and (c) serves any number of private inferences against it through an
+/// `InferenceService` — per-request crypto layers, batched clear tail.
+/// This header wires boundary search and the serve-many PI API into one
+/// object; see docs/API.md for the underlying compile-once flow.
 
 #include "pi/boundary.hpp"
 #include "pi/engine.hpp"
+#include "pi/service.hpp"
 
 namespace c2pi::pi {
 
@@ -21,31 +23,43 @@ struct C2piOptions {
     std::uint64_t seed = kDefaultSeed;
 };
 
-/// A configured crypto-clear private inference system.
+/// A configured crypto-clear private inference system: one boundary
+/// search + one compilation, then serve-many.
 class C2piSystem {
 public:
-    /// Server-side setup: run Algorithm 1 with the given IDPA and build
-    /// the engine for the discovered boundary.
+    /// Server-side setup: run Algorithm 1 with the given IDPA, then
+    /// compile the model once for the discovered boundary. The input
+    /// shape is taken from the dataset's samples.
     C2piSystem(nn::Sequential& model, const data::SyntheticImageDataset& dataset,
                const attack::IdpaFactory& make_attack, const C2piOptions& options);
 
     /// Setup with a pre-computed boundary (skips Algorithm 1).
-    C2piSystem(nn::Sequential& model, const nn::CutPoint& boundary, const C2piOptions& options);
+    C2piSystem(const nn::Sequential& model, const nn::CutPoint& boundary,
+               const Shape& input_chw, const C2piOptions& options);
 
-    /// One private inference; see PiEngine::run.
-    [[nodiscard]] PiResult infer(const Tensor& input) { return engine_.run(input); }
+    /// One private inference; see InferenceService::run.
+    [[nodiscard]] PiResult infer(const Tensor& input) const { return service_.run(input); }
+
+    /// Batched private inference: crypto layers per request, the revealed
+    /// clear tail as one batched plaintext pass on the server.
+    [[nodiscard]] InferenceService::BatchResult infer_batch(std::span<const Tensor> inputs) const {
+        return service_.run_batch(inputs);
+    }
 
     [[nodiscard]] const BoundaryResult& boundary() const { return boundary_; }
-    [[nodiscard]] const PiEngine& engine() const { return engine_; }
+    [[nodiscard]] const CompiledModel& compiled() const { return compiled_; }
+    [[nodiscard]] const InferenceService& service() const { return service_; }
 
 private:
     BoundaryResult boundary_;
-    PiEngine engine_;
+    CompiledModel compiled_;
+    InferenceService service_;
 };
 
 /// Full-PI baseline engine for the same model/backend (the paper's
-/// comparison point in Table II).
-[[nodiscard]] PiEngine make_full_pi_engine(nn::Sequential& model, PiBackend backend,
+/// comparison point in Table II). \deprecated Prefer constructing a
+/// CompiledModel without a boundary and an InferenceService over it.
+[[nodiscard]] PiEngine make_full_pi_engine(const nn::Sequential& model, PiBackend backend,
                                            const C2piOptions& options);
 
 }  // namespace c2pi::pi

@@ -1,0 +1,60 @@
+#include "pi/compiled_model.hpp"
+
+namespace c2pi::pi {
+
+namespace {
+
+/// Resolve + validate the options before any member construction work.
+/// Returns the validated options (so the member initializer list can run
+/// validation exactly once, before the expensive BFV precompute).
+CompiledModel::Options validate(const nn::Sequential& model, CompiledModel::Options options) {
+    require(options.input_chw.size() == 3, "CompiledModel expects a [C,H,W] input shape");
+    for (const auto d : options.input_chw)
+        require(d > 0, "CompiledModel input dimensions must be positive");
+    require(options.fmt.frac_bits > 0 && options.fmt.frac_bits < 30,
+            "frac_bits must lie in (0, 30): too few bits loses all precision, too many "
+            "overflow the truncation headroom");
+    require(options.he_ring_degree > 0 &&
+                (options.he_ring_degree & (options.he_ring_degree - 1)) == 0,
+            "he_ring_degree must be a power of two");
+    require(model.num_linear_ops() > 0, "model has no linear ops to compile");
+    if (options.boundary.has_value()) {
+        require(options.boundary->linear_index >= 1, "boundary linear_index must be >= 1");
+        require(options.boundary->linear_index <= model.num_linear_ops(),
+                "boundary lies past the last linear op of the model");
+        // Let flat_cut_index validate the ".5" position (ReLU must follow).
+        (void)model.flat_cut_index(*options.boundary);
+    }
+    return options;
+}
+
+}  // namespace
+
+CompiledModel::CompiledModel(const nn::Sequential& model, Options options)
+    : model_(&model),
+      options_(validate(model, std::move(options))),
+      cut_(options_.boundary.value_or(
+          nn::CutPoint{.linear_index = model.num_linear_ops(), .after_relu = false})),
+      num_linear_ops_(model.num_linear_ops()),
+      crypto_end_(model.flat_cut_index(cut_) + 1),
+      full_pi_(crypto_end_ >= model.size() || cut_.linear_index == num_linear_ops_),
+      plan_(plan_layers(model, options_.input_chw, crypto_end_)),
+      server_data_(extract_server_data(model, crypto_end_, options_.fmt)),
+      bfv_(he::BfvContext::Params{.n = options_.he_ring_degree, .limbs = 4, .noise_bound = 4}) {}
+
+Shape CompiledModel::batched_boundary_shape(std::int64_t batch) const {
+    Shape s{batch};
+    const Shape& b = boundary_shape();
+    s.insert(s.end(), b.begin(), b.end());
+    return s;
+}
+
+Tensor CompiledModel::run_clear_tail(const Tensor& boundary_activations) const {
+    require(!full_pi_, "full-PI artifact has no clear tail");
+    require(boundary_activations.rank() >= 2,
+            "clear tail expects a batched [N, ...] boundary activation");
+    tail_passes_.fetch_add(1, std::memory_order_relaxed);
+    return model_->infer_range(crypto_end_, model_->size(), boundary_activations);
+}
+
+}  // namespace c2pi::pi

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file compiled_model.hpp
+/// The compile-once half of the serve-many PI API.
+///
+/// A `CompiledModel` is built exactly once per (model, boundary, format,
+/// HE parameters) and is immutable afterwards: it owns the crypto-layer
+/// execution plan, the ring-encoded server weights, and the precomputed
+/// BFV/NTT context. Because nothing in it mutates after construction, a
+/// single `const CompiledModel` can back any number of concurrent
+/// `ServerSession`/`ClientSession` pairs (session.hpp) or a batched
+/// `InferenceService` (service.hpp).
+///
+/// All option validation happens here, at the API boundary: bad
+/// fixed-point formats, non-power-of-two HE ring degrees, and boundaries
+/// past the last linear op throw `c2pi::Error` immediately instead of
+/// failing deep inside the protocol.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "he/bfv.hpp"
+#include "net/cost_model.hpp"
+#include "pi/plan.hpp"
+
+namespace c2pi::pi {
+
+/// Protocol family used for the crypto layers.
+///  * kCheetah — Huang et al. 2022 style: HE linear layers + OT millionaire
+///    non-linear layers, online-only.
+///  * kDelphi — Mishra et al. 2020 style: HE linear work and garbled-circuit
+///    tables charged to an input-independent offline phase.
+enum class PiBackend { kDelphi, kCheetah };
+
+[[nodiscard]] inline const char* backend_name(PiBackend b) {
+    return b == PiBackend::kDelphi ? "Delphi" : "Cheetah";
+}
+
+/// Per-inference traffic/time accounting (aggregated per phase).
+struct PiStats {
+    std::uint64_t offline_bytes = 0;
+    std::uint64_t online_bytes = 0;
+    std::uint64_t offline_flights = 0;
+    std::uint64_t online_flights = 0;
+    double wall_seconds = 0.0;
+
+    [[nodiscard]] std::uint64_t total_bytes() const { return offline_bytes + online_bytes; }
+    [[nodiscard]] std::uint64_t total_flights() const { return offline_flights + online_flights; }
+
+    /// End-to-end latency under a network model (DESIGN.md §4 subst. 5).
+    [[nodiscard]] double latency_seconds(const net::NetworkModel& net) const {
+        return net.latency_seconds(wall_seconds, total_bytes(), total_flights());
+    }
+};
+
+/// Result of one private inference as seen by the client.
+struct PiResult {
+    Tensor logits;  ///< client's view of the inference output [1, classes]
+    PiStats stats;
+    std::int64_t crypto_linear_ops = 0;  ///< linear ops run under MPC
+    std::int64_t hidden_linear_ops = 0;  ///< clear-layer ops hidden from the client
+};
+
+/// Immutable, setup-once PI artifact. Construction runs every
+/// input-independent step of the protocol setup (layer planning, weight
+/// ring-encoding, BFV/NTT precompute); serving never re-runs them.
+class CompiledModel {
+public:
+    struct Options {
+        /// Per-sample input shape [C,H,W]; the plan is geometry-dependent.
+        Shape input_chw;
+        /// Last crypto operation; nullopt = full PI (all linear ops crypto).
+        std::optional<nn::CutPoint> boundary;
+        FixedPointFormat fmt{.frac_bits = 16};
+        std::size_t he_ring_degree = 4096;
+    };
+
+    /// Compiles the model. The model is borrowed const and must outlive
+    /// the CompiledModel; its weights must not change while sessions use
+    /// this artifact. Throws c2pi::Error on invalid options.
+    CompiledModel(const nn::Sequential& model, Options options);
+
+    CompiledModel(const CompiledModel&) = delete;
+    CompiledModel& operator=(const CompiledModel&) = delete;
+
+    [[nodiscard]] const nn::Sequential& model() const { return *model_; }
+    [[nodiscard]] const Options& options() const { return options_; }
+    [[nodiscard]] const FixedPointFormat& fmt() const { return options_.fmt; }
+    [[nodiscard]] const he::BfvContext& bfv() const { return bfv_; }
+    [[nodiscard]] const Shape& input_shape() const { return options_.input_chw; }
+
+    /// Crypto-layer plan (flat layers [0, crypto_end())); architecture only.
+    [[nodiscard]] const std::vector<LayerPlan>& plan() const { return plan_; }
+    /// Ring-encoded weights/biases for the crypto layers (server secret).
+    [[nodiscard]] const std::vector<ServerLayerData>& server_data() const { return server_data_; }
+
+    /// One-past-the-end flat layer index of the crypto prefix.
+    [[nodiscard]] std::size_t crypto_end() const { return crypto_end_; }
+    /// The resolved cut point (last linear op for full PI).
+    [[nodiscard]] const nn::CutPoint& cut() const { return cut_; }
+    [[nodiscard]] bool full_pi() const { return full_pi_; }
+    [[nodiscard]] std::int64_t crypto_linear_ops() const { return cut_.linear_index; }
+    [[nodiscard]] std::int64_t hidden_linear_ops() const {
+        return num_linear_ops_ - cut_.linear_index;
+    }
+
+    /// Shape of the boundary activation, per sample (no batch dim).
+    [[nodiscard]] const Shape& boundary_shape() const { return plan_.back().out_shape; }
+    /// Boundary activation shape with a batch dimension prepended.
+    [[nodiscard]] Shape batched_boundary_shape(std::int64_t batch) const;
+
+    /// Run the revealed clear-layer tail as ONE plaintext pass over a
+    /// [N, ...boundary_shape()] batch of boundary activations; returns
+    /// [N, classes]. Const and thread-safe (uses the cache-free
+    /// Sequential::infer_range). Invalid for full-PI artifacts.
+    [[nodiscard]] Tensor run_clear_tail(const Tensor& boundary_activations) const;
+
+    /// Number of clear-tail passes executed so far (diagnostic; lets tests
+    /// assert that a batched service runs exactly one pass per batch).
+    [[nodiscard]] std::uint64_t clear_tail_passes() const {
+        return tail_passes_.load(std::memory_order_relaxed);
+    }
+
+private:
+    const nn::Sequential* model_;
+    Options options_;
+    nn::CutPoint cut_;
+    std::int64_t num_linear_ops_ = 0;
+    std::size_t crypto_end_ = 0;
+    bool full_pi_ = false;
+    std::vector<LayerPlan> plan_;
+    std::vector<ServerLayerData> server_data_;
+    he::BfvContext bfv_;
+    mutable std::atomic<std::uint64_t> tail_passes_{0};
+};
+
+}  // namespace c2pi::pi

@@ -1,209 +1,21 @@
 #include "pi/engine.hpp"
 
-#include "mpc/linear.hpp"
-#include "mpc/nonlinear.hpp"
-
 namespace c2pi::pi {
-
-namespace {
-
-mpc::NonlinearBackend nonlinear_backend(PiBackend b) {
-    return b == PiBackend::kDelphi ? mpc::NonlinearBackend::kGarbledCircuit
-                                   : mpc::NonlinearBackend::kOtMillionaire;
-}
-
-/// AvgPool is linear: local window sums, multiply by encode(1/k^2) and
-/// truncate (both parties independently).
-std::vector<Ring> local_avgpool(std::span<const Ring> x, const LayerPlan& p,
-                                const FixedPointFormat& fmt) {
-    const std::int64_t c = p.in_shape[0], h = p.in_shape[1], w = p.in_shape[2];
-    const std::int64_t oh = p.out_shape[1], ow = p.out_shape[2];
-    const Ring inv = fmt.encode(1.0 / static_cast<double>(p.pool_kernel * p.pool_kernel));
-    std::vector<Ring> out(static_cast<std::size_t>(c * oh * ow));
-    std::size_t idx = 0;
-    for (std::int64_t ch = 0; ch < c; ++ch)
-        for (std::int64_t oy = 0; oy < oh; ++oy)
-            for (std::int64_t ox = 0; ox < ow; ++ox, ++idx) {
-                Ring acc = 0;
-                for (std::int64_t ky = 0; ky < p.pool_kernel; ++ky)
-                    for (std::int64_t kx = 0; kx < p.pool_kernel; ++kx)
-                        acc += x[static_cast<std::size_t>(
-                            (ch * h + oy * p.pool_stride + ky) * w + ox * p.pool_stride + kx)];
-                out[idx] = fmt.truncate(acc * inv);
-            }
-    return out;
-}
-
-struct PartyRun {
-    const std::vector<LayerPlan>& plan;
-    const std::vector<ServerLayerData>* server_data;  // server only
-    PiBackend backend;
-    const FixedPointFormat& fmt;
-
-    /// Walk the crypto layers; `share` is this party's share of the
-    /// current activation. Sets phase per backend convention.
-    std::vector<Ring> execute(mpc::PartyContext& ctx, std::vector<Ring> share) const {
-        for (std::size_t i = 0; i < plan.size(); ++i) {
-            const LayerPlan& p = plan[i];
-            const bool offline_linear = backend == PiBackend::kDelphi;
-            switch (p.op) {
-                case PlanOp::kConv: {
-                    if (offline_linear) ctx.transport().set_phase(net::Phase::kOffline);
-                    if (ctx.is_server()) {
-                        const auto& data = (*server_data)[i];
-                        share = mpc::he_conv_server(ctx, p.geo, data.weights, data.bias2f, share);
-                    } else {
-                        share = mpc::he_conv_client(ctx, p.geo, share);
-                    }
-                    ctx.transport().set_phase(net::Phase::kOnline);
-                    for (auto& v : share)
-                        v = static_cast<Ring>(static_cast<std::int64_t>(v) >> fmt.frac_bits);
-                    break;
-                }
-                case PlanOp::kLinear: {
-                    if (offline_linear) ctx.transport().set_phase(net::Phase::kOffline);
-                    if (ctx.is_server()) {
-                        const auto& data = (*server_data)[i];
-                        share = mpc::he_matvec_server(ctx, p.in_features, p.out_features,
-                                                      data.weights, data.bias2f, share);
-                    } else {
-                        share = mpc::he_matvec_client(ctx, p.in_features, p.out_features, share);
-                    }
-                    ctx.transport().set_phase(net::Phase::kOnline);
-                    for (auto& v : share)
-                        v = static_cast<Ring>(static_cast<std::int64_t>(v) >> fmt.frac_bits);
-                    break;
-                }
-                case PlanOp::kRelu:
-                    share = mpc::secure_relu(ctx, share, nonlinear_backend(backend));
-                    break;
-                case PlanOp::kMaxPool: {
-                    mpc::RingTensor t(p.in_shape, std::move(share));
-                    share = mpc::secure_maxpool(ctx, t, p.pool_kernel, p.pool_stride,
-                                                nonlinear_backend(backend))
-                                .data;
-                    break;
-                }
-                case PlanOp::kAvgPool:
-                    share = local_avgpool(share, p, fmt);
-                    break;
-                case PlanOp::kFlatten:
-                    break;  // NCHW flatten is a no-op on contiguous data
-            }
-        }
-        return share;
-    }
-};
-
-}  // namespace
-
-PiEngine::PiEngine(nn::Sequential& model, Options options)
-    : model_(&model),
-      options_(options),
-      bfv_(he::BfvContext::Params{.n = options.he_ring_degree, .limbs = 4, .noise_bound = 4}) {}
 
 PiResult PiEngine::run(const Tensor& input) {
     require(input.rank() == 4 && input.dim(0) == 1, "engine expects a single [1,C,H,W] input");
     const Shape chw{input.dim(1), input.dim(2), input.dim(3)};
-
-    const nn::CutPoint cut = options_.boundary.value_or(
-        nn::CutPoint{.linear_index = model_->num_linear_ops(), .after_relu = false});
-    const std::size_t cut_flat = model_->flat_cut_index(cut);
-    const bool full_pi = cut_flat + 1 >= model_->size() ||
-                         cut.linear_index == model_->num_linear_ops();
-
-    const auto plan = plan_layers(*model_, chw, cut_flat + 1);
-    const auto server_data = extract_server_data(*model_, cut_flat + 1, options_.fmt);
-
-    const crypto::Block128 session_seed{options_.seed, options_.seed ^ 0xC2F1};
-    net::DuplexChannel channel;
-    Tensor logits;
-
-    const auto run_result = net::run_two_party(
-        channel,
-        // ---------------------------------------------------------- server ---
-        [&](net::Transport& t) {
-            mpc::PartyContext ctx(t, options_.fmt, bfv_, session_seed);
-            // Charge the dealer/base-OT setup to the offline phase.
-            t.set_phase(net::Phase::kOffline);
-            t.send_bytes(std::vector<std::uint8_t>(crypto::OtSetupPair::setup_traffic_bytes()));
-            t.set_phase(net::Phase::kOnline);
-
-            std::vector<Ring> share(static_cast<std::size_t>(shape_numel(chw)), 0);
-            const PartyRun runner{plan, &server_data, options_.backend, options_.fmt};
-            share = runner.execute(ctx, std::move(share));
-
-            if (full_pi) {
-                // Reveal logits to the client only.
-                (void)mpc::reveal_shares_to(ctx, share, mpc::kClient);
-                return;
-            }
-            // C2PI: receive the client's (noised) share, finish in the clear.
-            const auto boundary = mpc::reveal_shares_to(ctx, share, mpc::kServer);
-            const Shape& bshape = plan.back().out_shape;
-            Tensor act(bshape.size() == 1 ? Shape{1, bshape[0]}
-                                          : Shape{1, bshape[0], bshape[1], bshape[2]});
-            for (std::int64_t i = 0; i < act.numel(); ++i)
-                act[i] = static_cast<float>(
-                    options_.fmt.decode(boundary[static_cast<std::size_t>(i)]));
-            const Tensor out = model_->forward_range(cut_flat + 1, model_->size(), act);
-            // Ship the plaintext logits to the client (floats).
-            std::vector<Ring> packed(static_cast<std::size_t>(out.numel()));
-            for (std::int64_t i = 0; i < out.numel(); ++i)
-                packed[static_cast<std::size_t>(i)] = options_.fmt.encode(out[i]);
-            t.send_u64s(packed);
-        },
-        // ---------------------------------------------------------- client ---
-        [&](net::Transport& t) {
-            mpc::PartyContext ctx(t, options_.fmt, bfv_, session_seed);
-            t.set_phase(net::Phase::kOffline);
-            (void)t.recv_bytes();  // dealer setup
-            t.set_phase(net::Phase::kOnline);
-            crypto::ChaCha20Prg key_prg(crypto::Block128{options_.seed ^ 0x5E17, 0x11}, 3);
-            ctx.set_client_key(bfv_.keygen(key_prg));
-
-            std::vector<Ring> share(static_cast<std::size_t>(shape_numel(chw)));
-            for (std::size_t i = 0; i < share.size(); ++i)
-                share[i] = options_.fmt.encode(input[static_cast<std::int64_t>(i)]);
-            const PartyRun runner{plan, nullptr, options_.backend, options_.fmt};
-            share = runner.execute(ctx, std::move(share));
-
-            if (full_pi) {
-                const auto out = mpc::reveal_shares_to(ctx, share, mpc::kClient);
-                logits = Tensor({1, static_cast<std::int64_t>(out.size())});
-                for (std::size_t i = 0; i < out.size(); ++i)
-                    logits[static_cast<std::int64_t>(i)] =
-                        static_cast<float>(options_.fmt.decode(out[i]));
-                return;
-            }
-            // C2PI: add uniform noise to the share before revealing it.
-            if (options_.noise_lambda > 0.0F) {
-                for (auto& v : share) {
-                    const double u =
-                        (static_cast<double>(ctx.prg().next_u64() >> 11) * 0x1.0p-53 * 2.0 - 1.0) *
-                        options_.noise_lambda;
-                    v += options_.fmt.encode(u);
-                }
-            }
-            (void)mpc::reveal_shares_to(ctx, share, mpc::kServer);
-            const auto packed = t.recv_u64s();
-            logits = Tensor({1, static_cast<std::int64_t>(packed.size())});
-            for (std::size_t i = 0; i < packed.size(); ++i)
-                logits[static_cast<std::int64_t>(i)] =
-                    static_cast<float>(options_.fmt.decode(packed[i]));
-        });
-
-    PiResult result;
-    result.logits = std::move(logits);
-    result.stats.wall_seconds = run_result.wall_seconds;
-    const auto& s = run_result.stats;
-    result.stats.offline_bytes = s.phase_bytes(net::Phase::kOffline);
-    result.stats.online_bytes = s.phase_bytes(net::Phase::kOnline);
-    result.stats.offline_flights = s.flights[static_cast<int>(net::Phase::kOffline)];
-    result.stats.online_flights = s.flights[static_cast<int>(net::Phase::kOnline)];
-    result.crypto_linear_ops = cut.linear_index;
-    result.hidden_linear_ops = model_->num_linear_ops() - cut.linear_index;
-    return result;
+    if (compiled_ == nullptr || compiled_->input_shape() != chw) {
+        compiled_ = std::make_unique<CompiledModel>(
+            *model_, CompiledModel::Options{.input_chw = chw,
+                                            .boundary = options_.boundary,
+                                            .fmt = options_.fmt,
+                                            .he_ring_degree = options_.he_ring_degree});
+    }
+    const SessionConfig config{.backend = options_.backend,
+                               .noise_lambda = options_.noise_lambda,
+                               .seed = options_.seed};
+    return run_private_inference(*compiled_, config, input);
 }
 
 }  // namespace c2pi::pi

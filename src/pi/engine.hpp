@@ -1,60 +1,30 @@
 #pragma once
 
 /// \file engine.hpp
-/// Two-party private inference engines and the C2PI runner.
+/// DEPRECATED single-shot engine API, kept as a thin adapter for older
+/// call sites. New code should use the compile-once/serve-many API
+/// directly (see docs/API.md):
 ///
-/// Backends:
-///  * kCheetah — Huang et al. 2022 style: HE linear layers + OT millionaire
-///    non-linear layers, online-only.
-///  * kDelphi — Mishra et al. 2020 style: the HE linear work and the
-///    garbled-circuit tables are charged to an input-independent offline
-///    phase; online traffic is GC label transfer/evaluation and share
-///    reveals. (Our implementation executes the phases inline but tags
-///    traffic per phase, which preserves the cost profile — DESIGN.md §6.)
+///   pi::CompiledModel   — immutable setup artifact (compiled_model.hpp)
+///   pi::ServerSession / pi::ClientSession — party roles (session.hpp)
+///   pi::InferenceService — batched serving front-end (service.hpp)
 ///
-/// C2PI (the paper's contribution): only the layers up to `boundary` run
-/// under MPC. The client then adds uniform noise of magnitude
-/// `noise_lambda` to its share and reveals it; the server finishes the
-/// clear layers in plaintext and returns the logits. Full PI is the
-/// special case boundary == last linear op (paper §I).
+/// `PiEngine` fuses both parties into one object and recompiles nothing
+/// across runs anymore: the first run() compiles a CompiledModel for the
+/// input's shape and every later run() reuses it. For a fixed model this
+/// is bit-identical to the historical engine (logits, traffic,
+/// determinism). One semantic difference: the crypto-layer weights are
+/// snapshotted at the first run(), so mutating the model between runs
+/// (e.g. further training) is not picked up — construct a fresh engine,
+/// or better, a fresh CompiledModel, after changing weights.
 
-#include <optional>
+#include <memory>
 
-#include "net/cost_model.hpp"
-#include "net/runtime.hpp"
-#include "pi/plan.hpp"
+#include "pi/service.hpp"
 
 namespace c2pi::pi {
 
-enum class PiBackend { kDelphi, kCheetah };
-
-[[nodiscard]] inline const char* backend_name(PiBackend b) {
-    return b == PiBackend::kDelphi ? "Delphi" : "Cheetah";
-}
-
-struct PiStats {
-    std::uint64_t offline_bytes = 0;
-    std::uint64_t online_bytes = 0;
-    std::uint64_t offline_flights = 0;
-    std::uint64_t online_flights = 0;
-    double wall_seconds = 0.0;
-
-    [[nodiscard]] std::uint64_t total_bytes() const { return offline_bytes + online_bytes; }
-    [[nodiscard]] std::uint64_t total_flights() const { return offline_flights + online_flights; }
-
-    /// End-to-end latency under a network model (DESIGN.md §4 subst. 5).
-    [[nodiscard]] double latency_seconds(const net::NetworkModel& net) const {
-        return net.latency_seconds(wall_seconds, total_bytes(), total_flights());
-    }
-};
-
-struct PiResult {
-    Tensor logits;  ///< client's view of the inference output [1, classes]
-    PiStats stats;
-    std::int64_t crypto_linear_ops = 0;  ///< linear ops run under MPC
-    std::int64_t hidden_linear_ops = 0;  ///< clear-layer ops hidden from the client
-};
-
+/// \deprecated Adapter over CompiledModel + sessions; see file comment.
 class PiEngine {
 public:
     struct Options {
@@ -70,17 +40,22 @@ public:
     };
 
     /// The engine borrows the model; it must outlive the engine.
-    PiEngine(nn::Sequential& model, Options options);
+    PiEngine(const nn::Sequential& model, Options options)
+        : model_(&model), options_(options) {}
 
-    /// Run one private inference on a [1,C,H,W] client input.
+    /// Run one private inference on a [1,C,H,W] client input. Compiles
+    /// once (per input shape) and reuses the artifact afterwards.
     [[nodiscard]] PiResult run(const Tensor& input);
 
     [[nodiscard]] const Options& options() const { return options_; }
 
+    /// The underlying artifact; available after the first run().
+    [[nodiscard]] const CompiledModel* compiled() const { return compiled_.get(); }
+
 private:
-    nn::Sequential* model_;
+    const nn::Sequential* model_;
     Options options_;
-    he::BfvContext bfv_;
+    std::unique_ptr<CompiledModel> compiled_;
 };
 
 }  // namespace c2pi::pi

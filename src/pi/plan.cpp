@@ -4,7 +4,7 @@
 
 namespace c2pi::pi {
 
-std::vector<LayerPlan> plan_layers(nn::Sequential& model, const Shape& input_chw, std::size_t end) {
+std::vector<LayerPlan> plan_layers(const nn::Sequential& model, const Shape& input_chw, std::size_t end) {
     require(input_chw.size() == 3, "plan expects a [C,H,W] input shape");
     require(end <= model.size(), "plan range out of bounds");
     std::vector<LayerPlan> plan;
@@ -74,7 +74,7 @@ std::vector<LayerPlan> plan_layers(nn::Sequential& model, const Shape& input_chw
     return plan;
 }
 
-std::vector<ServerLayerData> extract_server_data(nn::Sequential& model, std::size_t end,
+std::vector<ServerLayerData> extract_server_data(const nn::Sequential& model, std::size_t end,
                                                  const FixedPointFormat& fmt) {
     std::vector<ServerLayerData> data(end);
     for (std::size_t i = 0; i < end; ++i) {

@@ -32,12 +32,12 @@ struct ServerLayerData {
 };
 
 /// Plan flat layers [0, end) of the model for an input of shape [C,H,W].
-[[nodiscard]] std::vector<LayerPlan> plan_layers(nn::Sequential& model, const Shape& input_chw,
+[[nodiscard]] std::vector<LayerPlan> plan_layers(const nn::Sequential& model, const Shape& input_chw,
                                                  std::size_t end);
 
 /// Extract ring-encoded weights for every kConv/kLinear plan entry
 /// (entries for other ops are empty).
-[[nodiscard]] std::vector<ServerLayerData> extract_server_data(nn::Sequential& model,
+[[nodiscard]] std::vector<ServerLayerData> extract_server_data(const nn::Sequential& model,
                                                                std::size_t end,
                                                                const FixedPointFormat& fmt);
 

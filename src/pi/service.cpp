@@ -1,0 +1,159 @@
+#include "pi/service.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/stopwatch.hpp"
+
+namespace c2pi::pi {
+
+namespace {
+
+/// Rendezvous for the batched clear tail: every server session deposits
+/// its revealed boundary activation; the last arrival runs ONE batched
+/// plaintext pass and wakes the rest, which pick up their row.
+struct TailBatch {
+    /// Secondary failure: a sibling request died, so the rendezvous can
+    /// never complete. Distinct from Error so the batch can surface the
+    /// sibling's root cause instead of this consequence.
+    struct Aborted final : Error {
+        Aborted() : Error("batched clear tail aborted: a sibling request failed") {}
+    };
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    Tensor activations;  ///< [N, ...boundary shape]
+    Tensor logits;       ///< [N, classes] once done
+    std::size_t expected = 0;
+    std::size_t arrived = 0;
+    bool done = false;
+    bool failed = false;
+
+    void abort() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            failed = true;
+        }
+        cv.notify_all();
+    }
+
+    Tensor deposit_and_wait(const CompiledModel& cm, std::size_t slot, const Tensor& act) {
+        std::unique_lock<std::mutex> lock(mutex);
+        const std::int64_t per = act.numel();
+        for (std::int64_t j = 0; j < per; ++j)
+            activations[static_cast<std::int64_t>(slot) * per + j] = act[j];
+        if (++arrived == expected) {
+            logits = cm.run_clear_tail(activations);  // the single batched pass
+            done = true;
+            cv.notify_all();
+        } else {
+            cv.wait(lock, [&] { return done || failed; });
+            if (!done) throw Aborted{};
+        }
+        const std::int64_t classes = logits.dim(1);
+        Tensor row({1, classes});
+        for (std::int64_t j = 0; j < classes; ++j)
+            row[j] = logits.at(static_cast<std::int64_t>(slot), j);
+        return row;
+    }
+};
+
+/// Upper bound on a tail-rendezvous group: every request in a group runs
+/// concurrently (three threads each), so this caps thread usage while a
+/// batch of any size still executes at most ceil(n / group) tail passes.
+constexpr std::size_t kMaxRendezvousGroup = 64;
+
+}  // namespace
+
+InferenceService::BatchResult InferenceService::run_batch(std::span<const Tensor> inputs) const {
+    const std::size_t n = inputs.size();
+    require(n > 0, "run_batch on an empty batch");
+    const CompiledModel& cm = *model_;
+    // Validate the whole batch before any session starts: one bad input
+    // failing mid-protocol would otherwise poison its peer and abort the
+    // batched tail for every sibling request.
+    for (const Tensor& input : inputs) validate_client_input(cm, input);
+    Stopwatch watch;
+
+    BatchResult batch;
+    batch.results.resize(n);
+
+    // Every request of a rendezvous group must be in flight at once (the
+    // batched tail blocks until all of them reach the boundary), and each
+    // request costs three threads. Serve oversized batches as a sequence
+    // of bounded groups — one tail pass per group — instead of spawning
+    // an unbounded number of OS threads.
+    const bool batched_tail = !cm.full_pi();
+    const auto serve_group = [&](std::size_t begin, std::size_t count) {
+        TailBatch tail_batch;
+        if (batched_tail) {
+            tail_batch.expected = count;
+            tail_batch.activations =
+                Tensor(cm.batched_boundary_shape(static_cast<std::int64_t>(count)));
+        }
+        std::vector<net::DuplexChannel> channels(count);
+        std::vector<std::exception_ptr> errors(count);
+        std::vector<std::thread> workers;
+        workers.reserve(count);
+        for (std::size_t g = 0; g < count; ++g) {
+            workers.emplace_back([&, g] {
+                const std::size_t i = begin + g;
+                try {
+                    const ServerSession server(cm, config_);
+                    const ClientSession client(cm, config_);
+                    Tensor logits;
+                    const auto run = net::run_two_party(
+                        channels[g],
+                        [&](net::Transport& t) {
+                            if (batched_tail) {
+                                server.run(t, [&](const Tensor& act) {
+                                    return tail_batch.deposit_and_wait(cm, g, act);
+                                });
+                            } else {
+                                server.run(t);
+                            }
+                        },
+                        [&](net::Transport& t) { logits = client.run(t, inputs[i]); });
+                    PiResult& res = batch.results[i];
+                    res.logits = std::move(logits);
+                    res.stats = stats_from_run(run);
+                    res.crypto_linear_ops = cm.crypto_linear_ops();
+                    res.hidden_linear_ops = cm.hidden_linear_ops();
+                } catch (...) {
+                    errors[g] = std::current_exception();
+                    if (batched_tail) tail_batch.abort();
+                }
+            });
+        }
+        for (auto& w : workers) w.join();
+        // Surface the root cause: a request woken by abort() only carries
+        // the secondary TailBatch::Aborted error, so prefer any other one.
+        std::exception_ptr first;
+        for (const auto& e : errors) {
+            if (!e) continue;
+            if (!first) first = e;
+            try {
+                std::rethrow_exception(e);
+            } catch (const TailBatch::Aborted&) {
+                continue;  // consequence, keep looking for the cause
+            } catch (...) {
+                throw;
+            }
+        }
+        if (first) std::rethrow_exception(first);
+    };
+    for (std::size_t begin = 0; begin < n; begin += kMaxRendezvousGroup)
+        serve_group(begin, std::min(kMaxRendezvousGroup, n - begin));
+
+    for (const PiResult& res : batch.results) {
+        batch.aggregate.offline_bytes += res.stats.offline_bytes;
+        batch.aggregate.online_bytes += res.stats.online_bytes;
+        batch.aggregate.offline_flights += res.stats.offline_flights;
+        batch.aggregate.online_flights += res.stats.online_flights;
+    }
+    batch.aggregate.wall_seconds = watch.seconds();
+    return batch;
+}
+
+}  // namespace c2pi::pi

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file service.hpp
+/// Batched serving front-end over the session API.
+///
+/// `InferenceService` accepts a batch of client inputs and serves them
+/// against one shared `const CompiledModel`. The crypto layers run
+/// per-request (each request gets its own in-process session pair, all
+/// concurrently), but the revealed clear-layer tail — plain float compute
+/// on the server — is coalesced into ONE batched plaintext pass: the
+/// paper's crypto-clear split makes the server tail trivially batchable.
+
+#include <span>
+
+#include "pi/session.hpp"
+
+namespace c2pi::pi {
+
+class InferenceService {
+public:
+    InferenceService(const CompiledModel& model, SessionConfig config)
+        : model_(&model), config_(config) {}
+
+    /// Serve a single request (one in-process session pair).
+    [[nodiscard]] PiResult run(const Tensor& input) const {
+        return run_private_inference(*model_, config_, input);
+    }
+
+    struct BatchResult {
+        /// One per input, in order. A request's `stats.wall_seconds` is its
+        /// end-to-end latency *inside the batch*, which includes waiting at
+        /// the tail rendezvous for sibling requests — by design, as a real
+        /// batched server's per-request latency would. Use `aggregate` for
+        /// the joint cost of the batch.
+        std::vector<PiResult> results;
+        PiStats aggregate;  ///< summed traffic, joint wall time
+    };
+
+    /// Serve a batch of [1,C,H,W] inputs. Crypto layers run per-request
+    /// (concurrent session pairs); for a crypto-clear boundary the clear
+    /// tail executes as ONE batched plaintext pass per rendezvous group
+    /// (a single pass for batches up to the internal group bound of 64;
+    /// larger batches are served as a sequence of bounded groups to cap
+    /// thread usage).
+    [[nodiscard]] BatchResult run_batch(std::span<const Tensor> inputs) const;
+
+    [[nodiscard]] const CompiledModel& model() const { return *model_; }
+    [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+private:
+    const CompiledModel* model_;
+    SessionConfig config_;
+};
+
+}  // namespace c2pi::pi

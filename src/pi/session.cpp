@@ -1,0 +1,219 @@
+#include "pi/session.hpp"
+
+#include "mpc/linear.hpp"
+#include "mpc/nonlinear.hpp"
+
+namespace c2pi::pi {
+
+namespace {
+
+mpc::NonlinearBackend nonlinear_backend(PiBackend b) {
+    return b == PiBackend::kDelphi ? mpc::NonlinearBackend::kGarbledCircuit
+                                   : mpc::NonlinearBackend::kOtMillionaire;
+}
+
+/// AvgPool is linear: local window sums, multiply by encode(1/k^2) and
+/// truncate (both parties independently).
+std::vector<Ring> local_avgpool(std::span<const Ring> x, const LayerPlan& p,
+                                const FixedPointFormat& fmt) {
+    const std::int64_t c = p.in_shape[0], h = p.in_shape[1], w = p.in_shape[2];
+    const std::int64_t oh = p.out_shape[1], ow = p.out_shape[2];
+    const Ring inv = fmt.encode(1.0 / static_cast<double>(p.pool_kernel * p.pool_kernel));
+    std::vector<Ring> out(static_cast<std::size_t>(c * oh * ow));
+    std::size_t idx = 0;
+    for (std::int64_t ch = 0; ch < c; ++ch)
+        for (std::int64_t oy = 0; oy < oh; ++oy)
+            for (std::int64_t ox = 0; ox < ow; ++ox, ++idx) {
+                Ring acc = 0;
+                for (std::int64_t ky = 0; ky < p.pool_kernel; ++ky)
+                    for (std::int64_t kx = 0; kx < p.pool_kernel; ++kx)
+                        acc += x[static_cast<std::size_t>(
+                            (ch * h + oy * p.pool_stride + ky) * w + ox * p.pool_stride + kx)];
+                out[idx] = fmt.truncate(acc * inv);
+            }
+    return out;
+}
+
+struct PartyRun {
+    const std::vector<LayerPlan>& plan;
+    const std::vector<ServerLayerData>* server_data;  // server only
+    PiBackend backend;
+    const FixedPointFormat& fmt;
+
+    /// Walk the crypto layers; `share` is this party's share of the
+    /// current activation. Sets phase per backend convention.
+    std::vector<Ring> execute(mpc::PartyContext& ctx, std::vector<Ring> share) const {
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            const LayerPlan& p = plan[i];
+            const bool offline_linear = backend == PiBackend::kDelphi;
+            switch (p.op) {
+                case PlanOp::kConv: {
+                    if (offline_linear) ctx.transport().set_phase(net::Phase::kOffline);
+                    if (ctx.is_server()) {
+                        const auto& data = (*server_data)[i];
+                        share = mpc::he_conv_server(ctx, p.geo, data.weights, data.bias2f, share);
+                    } else {
+                        share = mpc::he_conv_client(ctx, p.geo, share);
+                    }
+                    ctx.transport().set_phase(net::Phase::kOnline);
+                    for (auto& v : share)
+                        v = static_cast<Ring>(static_cast<std::int64_t>(v) >> fmt.frac_bits);
+                    break;
+                }
+                case PlanOp::kLinear: {
+                    if (offline_linear) ctx.transport().set_phase(net::Phase::kOffline);
+                    if (ctx.is_server()) {
+                        const auto& data = (*server_data)[i];
+                        share = mpc::he_matvec_server(ctx, p.in_features, p.out_features,
+                                                      data.weights, data.bias2f, share);
+                    } else {
+                        share = mpc::he_matvec_client(ctx, p.in_features, p.out_features, share);
+                    }
+                    ctx.transport().set_phase(net::Phase::kOnline);
+                    for (auto& v : share)
+                        v = static_cast<Ring>(static_cast<std::int64_t>(v) >> fmt.frac_bits);
+                    break;
+                }
+                case PlanOp::kRelu:
+                    share = mpc::secure_relu(ctx, share, nonlinear_backend(backend));
+                    break;
+                case PlanOp::kMaxPool: {
+                    mpc::RingTensor t(p.in_shape, std::move(share));
+                    share = mpc::secure_maxpool(ctx, t, p.pool_kernel, p.pool_stride,
+                                                nonlinear_backend(backend))
+                                .data;
+                    break;
+                }
+                case PlanOp::kAvgPool:
+                    share = local_avgpool(share, p, fmt);
+                    break;
+                case PlanOp::kFlatten:
+                    break;  // NCHW flatten is a no-op on contiguous data
+            }
+        }
+        return share;
+    }
+};
+
+crypto::Block128 session_seed(const SessionConfig& config) {
+    return crypto::Block128{config.seed, config.seed ^ 0xC2F1};
+}
+
+}  // namespace
+
+void ServerSession::run(net::Transport& transport) const {
+    run(transport, [this](const Tensor& boundary) { return model_->run_clear_tail(boundary); });
+}
+
+void ServerSession::run(net::Transport& transport, const TailFn& tail) const {
+    const CompiledModel& cm = *model_;
+    mpc::PartyContext ctx(transport, cm.fmt(), cm.bfv(), session_seed(config_));
+    // Charge the dealer/base-OT setup to the offline phase.
+    transport.set_phase(net::Phase::kOffline);
+    transport.send_bytes(std::vector<std::uint8_t>(crypto::OtSetupPair::setup_traffic_bytes()));
+    transport.set_phase(net::Phase::kOnline);
+
+    std::vector<Ring> share(static_cast<std::size_t>(shape_numel(cm.input_shape())), 0);
+    const PartyRun runner{cm.plan(), &cm.server_data(), config_.backend, cm.fmt()};
+    share = runner.execute(ctx, std::move(share));
+
+    if (cm.full_pi()) {
+        // Reveal logits to the client only.
+        (void)mpc::reveal_shares_to(ctx, share, mpc::kClient);
+        return;
+    }
+    // C2PI: receive the client's (noised) share, finish in the clear.
+    const auto boundary = mpc::reveal_shares_to(ctx, share, mpc::kServer);
+    Tensor act(cm.batched_boundary_shape(1));
+    for (std::int64_t i = 0; i < act.numel(); ++i)
+        act[i] = static_cast<float>(cm.fmt().decode(boundary[static_cast<std::size_t>(i)]));
+    const Tensor out = tail(act);
+    // Ship the plaintext logits to the client (floats).
+    std::vector<Ring> packed(static_cast<std::size_t>(out.numel()));
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+        packed[static_cast<std::size_t>(i)] = cm.fmt().encode(out[i]);
+    transport.send_u64s(packed);
+}
+
+void validate_client_input(const CompiledModel& model, const Tensor& input) {
+    require(input.rank() == 4 && input.dim(0) == 1, "expects a single [1,C,H,W] input");
+    require(Shape{input.dim(1), input.dim(2), input.dim(3)} == model.input_shape(),
+            "input shape does not match the compiled input shape");
+}
+
+Tensor ClientSession::run(net::Transport& transport, const Tensor& input) const {
+    const CompiledModel& cm = *model_;
+    validate_client_input(cm, input);
+
+    mpc::PartyContext ctx(transport, cm.fmt(), cm.bfv(), session_seed(config_));
+    transport.set_phase(net::Phase::kOffline);
+    (void)transport.recv_bytes();  // dealer setup
+    transport.set_phase(net::Phase::kOnline);
+    crypto::ChaCha20Prg key_prg(crypto::Block128{config_.seed ^ 0x5E17, 0x11}, 3);
+    ctx.set_client_key(cm.bfv().keygen(key_prg));
+
+    std::vector<Ring> share(static_cast<std::size_t>(input.numel()));
+    for (std::size_t i = 0; i < share.size(); ++i)
+        share[i] = cm.fmt().encode(input[static_cast<std::int64_t>(i)]);
+    const PartyRun runner{cm.plan(), nullptr, config_.backend, cm.fmt()};
+    share = runner.execute(ctx, std::move(share));
+
+    Tensor logits;
+    if (cm.full_pi()) {
+        const auto out = mpc::reveal_shares_to(ctx, share, mpc::kClient);
+        logits = Tensor({1, static_cast<std::int64_t>(out.size())});
+        for (std::size_t i = 0; i < out.size(); ++i)
+            logits[static_cast<std::int64_t>(i)] = static_cast<float>(cm.fmt().decode(out[i]));
+        return logits;
+    }
+    // C2PI: add uniform noise to the share before revealing it.
+    if (config_.noise_lambda > 0.0F) {
+        for (auto& v : share) {
+            const double u =
+                (static_cast<double>(ctx.prg().next_u64() >> 11) * 0x1.0p-53 * 2.0 - 1.0) *
+                config_.noise_lambda;
+            v += cm.fmt().encode(u);
+        }
+    }
+    (void)mpc::reveal_shares_to(ctx, share, mpc::kServer);
+    const auto packed = transport.recv_u64s();
+    logits = Tensor({1, static_cast<std::int64_t>(packed.size())});
+    for (std::size_t i = 0; i < packed.size(); ++i)
+        logits[static_cast<std::int64_t>(i)] = static_cast<float>(cm.fmt().decode(packed[i]));
+    return logits;
+}
+
+PiStats stats_from_run(const net::RunResult& run) {
+    PiStats stats;
+    stats.wall_seconds = run.wall_seconds;
+    stats.offline_bytes = run.stats.phase_bytes(net::Phase::kOffline);
+    stats.online_bytes = run.stats.phase_bytes(net::Phase::kOnline);
+    stats.offline_flights = run.stats.flights[static_cast<int>(net::Phase::kOffline)];
+    stats.online_flights = run.stats.flights[static_cast<int>(net::Phase::kOnline)];
+    return stats;
+}
+
+PiResult run_private_inference(const CompiledModel& model, const SessionConfig& config,
+                               const Tensor& input) {
+    // Validate before spawning the parties: a client-side failure mid-
+    // protocol poisons the peer, whose secondary error would mask the
+    // root cause (run_two_party rethrows the server's exception first).
+    validate_client_input(model, input);
+    const ServerSession server(model, config);
+    const ClientSession client(model, config);
+
+    net::DuplexChannel channel;
+    Tensor logits;
+    const auto run = net::run_two_party(
+        channel, [&](net::Transport& t) { server.run(t); },
+        [&](net::Transport& t) { logits = client.run(t, input); });
+
+    PiResult result;
+    result.logits = std::move(logits);
+    result.stats = stats_from_run(run);
+    result.crypto_linear_ops = model.crypto_linear_ops();
+    result.hidden_linear_ops = model.hidden_linear_ops();
+    return result;
+}
+
+}  // namespace c2pi::pi

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file session.hpp
+/// The serve-many half of the PI API: explicit party roles over a
+/// transport seam.
+///
+/// A `ServerSession` (model owner) and a `ClientSession` (input owner)
+/// each drive their own side of a `net::Transport`. Both borrow the same
+/// immutable `CompiledModel`; per-inference state (PRG, OT extension,
+/// client HE key) lives inside the run() call, so one session object —
+/// and one CompiledModel — can serve any number of concurrent runs.
+///
+/// `run_private_inference` wires one server and one client through an
+/// in-process `net::DuplexChannel` (the classic two-thread setup); the
+/// session API itself is transport-agnostic, which is the seam for real
+/// socket transports and multi-client serving.
+
+#include <functional>
+
+#include "net/runtime.hpp"
+#include "pi/compiled_model.hpp"
+
+namespace c2pi::pi {
+
+/// Per-connection protocol parameters. Both parties of a session must
+/// agree on all fields (the seed feeds the trusted-dealer base-OT
+/// substitution, DESIGN.md §4).
+struct SessionConfig {
+    PiBackend backend = PiBackend::kCheetah;
+    /// Uniform noise magnitude the client adds to its revealed share
+    /// (C2PI's extra defense; ignored for full PI).
+    float noise_lambda = 0.0F;
+    std::uint64_t seed = kDefaultSeed;
+};
+
+/// The model owner's side of one private inference.
+class ServerSession {
+public:
+    /// Clear-tail hook: receives the revealed boundary activation
+    /// [1, ...boundary shape] and returns the logits [1, classes]. The
+    /// batched InferenceService uses this to coalesce many requests into
+    /// one plaintext pass.
+    using TailFn = std::function<Tensor(const Tensor&)>;
+
+    ServerSession(const CompiledModel& model, SessionConfig config)
+        : model_(&model), config_(config) {}
+
+    /// Serve one inference over the transport; the clear tail (if any)
+    /// runs inline as a single-request batch.
+    void run(net::Transport& transport) const;
+    /// Serve one inference, delegating the clear tail to `tail`.
+    void run(net::Transport& transport, const TailFn& tail) const;
+
+    [[nodiscard]] const CompiledModel& model() const { return *model_; }
+    [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+private:
+    const CompiledModel* model_;
+    SessionConfig config_;
+};
+
+/// The input owner's side of one private inference.
+class ClientSession {
+public:
+    ClientSession(const CompiledModel& model, SessionConfig config)
+        : model_(&model), config_(config) {}
+
+    /// Run one private inference on a [1,C,H,W] input matching the
+    /// compiled input shape; returns the logits [1, classes].
+    [[nodiscard]] Tensor run(net::Transport& transport, const Tensor& input) const;
+
+    [[nodiscard]] const CompiledModel& model() const { return *model_; }
+    [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+private:
+    const CompiledModel* model_;
+    SessionConfig config_;
+};
+
+/// Validate a client input against a compiled artifact: a single
+/// [1,C,H,W] tensor matching the compiled input shape. Throws
+/// c2pi::Error otherwise. Every serving entry point calls this up
+/// front so a bad input fails with its root cause instead of a
+/// poisoned-peer protocol error.
+void validate_client_input(const CompiledModel& model, const Tensor& input);
+
+/// Connect one ServerSession and one ClientSession in-process (two
+/// threads over a DuplexChannel) and run a single inference.
+[[nodiscard]] PiResult run_private_inference(const CompiledModel& model,
+                                             const SessionConfig& config, const Tensor& input);
+
+/// Translate a finished run's channel accounting into PiStats.
+[[nodiscard]] PiStats stats_from_run(const net::RunResult& run);
+
+}  // namespace c2pi::pi

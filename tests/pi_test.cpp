@@ -1,8 +1,10 @@
-// Integration tests for the PI engines and the C2PI framework: full PI
-// (both backends) must reproduce plaintext inference within fixed-point
-// tolerance; C2PI must agree with plaintext when noise is off, hide the
-// clear layers, and cost less than full PI; Algorithm 1 is unit-tested
-// with a scripted IDPA.
+// Integration tests for the compile-once/serve-many PI API and the C2PI
+// framework: full PI (both backends) must reproduce plaintext inference
+// within fixed-point tolerance; C2PI must agree with plaintext when noise
+// is off, hide the clear layers, and cost less than full PI; the legacy
+// PiEngine shim must match the new API bit-for-bit; Algorithm 1 is
+// unit-tested with a scripted IDPA. Concurrency and batching tests for
+// the serving API live in service_test.cpp.
 
 #include <gtest/gtest.h>
 
@@ -40,9 +42,9 @@ Tensor make_test_input(std::uint64_t seed = 8) {
     return Tensor::uniform({1, 3, 16, 16}, rng, 0.0F, 1.0F);
 }
 
-PiEngine::Options small_engine_options(PiBackend backend) {
-    PiEngine::Options opts;
-    opts.backend = backend;
+CompiledModel::Options small_compile_options() {
+    CompiledModel::Options opts;
+    opts.input_chw = {3, 16, 16};
     opts.he_ring_degree = 1024;
     return opts;
 }
@@ -50,12 +52,13 @@ PiEngine::Options small_engine_options(PiBackend backend) {
 class FullPiBackendTest : public ::testing::TestWithParam<PiBackend> {};
 
 TEST_P(FullPiBackendTest, MatchesPlaintextInference) {
-    nn::Sequential model = make_test_model();
+    const nn::Sequential model = make_test_model();
     const Tensor x = make_test_input();
-    const Tensor want = model.forward(x);
+    const Tensor want = model.infer(x);
 
-    PiEngine engine(model, small_engine_options(GetParam()));
-    const PiResult res = engine.run(x);
+    const CompiledModel compiled(model, small_compile_options());
+    const PiResult res =
+        run_private_inference(compiled, SessionConfig{.backend = GetParam()}, x);
     ASSERT_TRUE(res.logits.same_shape(want));
     for (std::int64_t i = 0; i < want.numel(); ++i)
         EXPECT_NEAR(res.logits[i], want[i], 0.02F) << "logit " << i;
@@ -66,50 +69,74 @@ TEST_P(FullPiBackendTest, MatchesPlaintextInference) {
 INSTANTIATE_TEST_SUITE_P(Backends, FullPiBackendTest,
                          ::testing::Values(PiBackend::kCheetah, PiBackend::kDelphi));
 
-TEST(PiEngine, CheetahIsOnlineDominated) {
-    nn::Sequential model = make_test_model();
-    PiEngine engine(model, small_engine_options(PiBackend::kCheetah));
-    const PiResult res = engine.run(make_test_input());
+TEST(Session, CheetahIsOnlineDominated) {
+    const nn::Sequential model = make_test_model();
+    const CompiledModel compiled(model, small_compile_options());
+    const PiResult res = run_private_inference(
+        compiled, SessionConfig{.backend = PiBackend::kCheetah}, make_test_input());
     // Only the dealer setup is charged offline for Cheetah.
     EXPECT_EQ(res.stats.offline_bytes, crypto::OtSetupPair::setup_traffic_bytes());
     EXPECT_GT(res.stats.online_bytes, res.stats.offline_bytes);
 }
 
-TEST(PiEngine, DelphiMovesWorkOffline) {
-    nn::Sequential model = make_test_model();
-    PiEngine engine(model, small_engine_options(PiBackend::kDelphi));
-    const PiResult res = engine.run(make_test_input());
+TEST(Session, DelphiMovesWorkOffline) {
+    const nn::Sequential model = make_test_model();
+    const CompiledModel compiled(model, small_compile_options());
+    const PiResult res = run_private_inference(
+        compiled, SessionConfig{.backend = PiBackend::kDelphi}, make_test_input());
     // HE pairs + garbled tables offline: the offline phase dominates.
     EXPECT_GT(res.stats.offline_bytes, res.stats.online_bytes);
 }
 
-TEST(PiEngine, DelphiCostsMoreTrafficThanCheetah) {
-    nn::Sequential model = make_test_model();
-    PiEngine cheetah(model, small_engine_options(PiBackend::kCheetah));
-    const auto c = cheetah.run(make_test_input());
-    PiEngine delphi(model, small_engine_options(PiBackend::kDelphi));
-    const auto d = delphi.run(make_test_input());
+TEST(Session, DelphiCostsMoreTrafficThanCheetah) {
+    const nn::Sequential model = make_test_model();
+    // One compiled artifact serves both backends: the plan and encoded
+    // weights are backend-agnostic, only the session protocol differs.
+    const CompiledModel compiled(model, small_compile_options());
+    const auto c = run_private_inference(
+        compiled, SessionConfig{.backend = PiBackend::kCheetah}, make_test_input());
+    const auto d = run_private_inference(
+        compiled, SessionConfig{.backend = PiBackend::kDelphi}, make_test_input());
     EXPECT_GT(d.stats.total_bytes(), c.stats.total_bytes());
 }
 
-TEST(PiEngine, WanLatencyExceedsLan) {
-    nn::Sequential model = make_test_model();
-    PiEngine engine(model, small_engine_options(PiBackend::kCheetah));
-    const PiResult res = engine.run(make_test_input());
+TEST(Session, WanLatencyExceedsLan) {
+    const nn::Sequential model = make_test_model();
+    const CompiledModel compiled(model, small_compile_options());
+    const PiResult res = run_private_inference(compiled, SessionConfig{}, make_test_input());
     EXPECT_GT(res.stats.latency_seconds(net::NetworkModel::wan()),
               res.stats.latency_seconds(net::NetworkModel::lan()));
 }
 
-TEST(C2pi, NoiselessBoundaryMatchesPlaintext) {
+TEST(LegacyPiEngine, ShimMatchesNewApi) {
     nn::Sequential model = make_test_model();
     const Tensor x = make_test_input();
-    const Tensor want = model.forward(x);
 
-    auto opts = small_engine_options(PiBackend::kCheetah);
-    opts.boundary = nn::CutPoint{.linear_index = 2, .after_relu = true};
-    opts.noise_lambda = 0.0F;
+    PiEngine::Options opts;
+    opts.he_ring_degree = 1024;
     PiEngine engine(model, opts);
-    const PiResult res = engine.run(x);
+    const PiResult via_shim = engine.run(x);
+
+    const CompiledModel compiled(model, small_compile_options());
+    const PiResult direct = run_private_inference(compiled, SessionConfig{}, x);
+    EXPECT_TRUE(via_shim.logits.allclose(direct.logits, 0.0F));
+    EXPECT_EQ(via_shim.stats.total_bytes(), direct.stats.total_bytes());
+    // The shim compiles once: a second run reuses the same artifact.
+    const CompiledModel* first = engine.compiled();
+    (void)engine.run(x);
+    EXPECT_EQ(engine.compiled(), first);
+}
+
+TEST(C2pi, NoiselessBoundaryMatchesPlaintext) {
+    const nn::Sequential model = make_test_model();
+    const Tensor x = make_test_input();
+    const Tensor want = model.infer(x);
+
+    auto copts = small_compile_options();
+    copts.boundary = nn::CutPoint{.linear_index = 2, .after_relu = true};
+    const CompiledModel compiled(model, copts);
+    const PiResult res =
+        run_private_inference(compiled, SessionConfig{.noise_lambda = 0.0F}, x);
     for (std::int64_t i = 0; i < want.numel(); ++i)
         EXPECT_NEAR(res.logits[i], want[i], 0.02F) << i;
     EXPECT_EQ(res.crypto_linear_ops, 2);
@@ -117,30 +144,29 @@ TEST(C2pi, NoiselessBoundaryMatchesPlaintext) {
 }
 
 TEST(C2pi, CostsLessThanFullPi) {
-    nn::Sequential model = make_test_model();
+    const nn::Sequential model = make_test_model();
     const Tensor x = make_test_input();
-    PiEngine full(model, small_engine_options(PiBackend::kCheetah));
-    const auto full_res = full.run(x);
+    const CompiledModel full(model, small_compile_options());
+    const auto full_res = run_private_inference(full, SessionConfig{}, x);
 
-    auto opts = small_engine_options(PiBackend::kCheetah);
-    opts.boundary = nn::CutPoint{.linear_index = 1, .after_relu = true};
-    opts.noise_lambda = 0.1F;
-    PiEngine c2pi_engine(model, opts);
-    const auto c2pi_res = c2pi_engine.run(x);
+    auto copts = small_compile_options();
+    copts.boundary = nn::CutPoint{.linear_index = 1, .after_relu = true};
+    const CompiledModel compiled(model, copts);
+    const auto c2pi_res =
+        run_private_inference(compiled, SessionConfig{.noise_lambda = 0.1F}, x);
 
     EXPECT_LT(c2pi_res.stats.total_bytes(), full_res.stats.total_bytes());
     EXPECT_LT(c2pi_res.stats.total_flights(), full_res.stats.total_flights());
 }
 
 TEST(C2pi, NoisePerturbsButPreservesShape) {
-    nn::Sequential model = make_test_model();
+    const nn::Sequential model = make_test_model();
     const Tensor x = make_test_input();
-    auto opts = small_engine_options(PiBackend::kCheetah);
-    opts.boundary = nn::CutPoint{.linear_index = 2, .after_relu = true};
-    opts.noise_lambda = 0.3F;
-    PiEngine engine(model, opts);
-    const auto res = engine.run(x);
-    const Tensor want = model.forward(x);
+    auto copts = small_compile_options();
+    copts.boundary = nn::CutPoint{.linear_index = 2, .after_relu = true};
+    const CompiledModel compiled(model, copts);
+    const auto res = run_private_inference(compiled, SessionConfig{.noise_lambda = 0.3F}, x);
+    const Tensor want = model.infer(x);
     ASSERT_TRUE(res.logits.same_shape(want));
     // With noise the logits differ, but remain finite and plausible.
     float diff = 0.0F;
@@ -152,14 +178,14 @@ TEST(C2pi, NoisePerturbsButPreservesShape) {
 }
 
 TEST(C2pi, DelphiBackendAlsoSupportsBoundary) {
-    nn::Sequential model = make_test_model();
+    const nn::Sequential model = make_test_model();
     const Tensor x = make_test_input();
-    const Tensor want = model.forward(x);
-    auto opts = small_engine_options(PiBackend::kDelphi);
-    opts.boundary = nn::CutPoint{.linear_index = 2, .after_relu = false};
-    opts.noise_lambda = 0.0F;
-    PiEngine engine(model, opts);
-    const auto res = engine.run(x);
+    const Tensor want = model.infer(x);
+    auto copts = small_compile_options();
+    copts.boundary = nn::CutPoint{.linear_index = 2, .after_relu = false};
+    const CompiledModel compiled(model, copts);
+    const auto res = run_private_inference(
+        compiled, SessionConfig{.backend = PiBackend::kDelphi, .noise_lambda = 0.0F}, x);
     for (std::int64_t i = 0; i < want.numel(); ++i) EXPECT_NEAR(res.logits[i], want[i], 0.02F);
 }
 

@@ -8,7 +8,7 @@
 
 #include "crypto/garbling.hpp"
 #include "nn/layers.hpp"
-#include "pi/engine.hpp"
+#include "pi/session.hpp"
 #include "mpc/nonlinear.hpp"
 #include "net/runtime.hpp"
 
@@ -70,11 +70,12 @@ TEST_P(EngineArchTest, SecureInferenceMatchesPlaintext) {
     const Tensor x = Tensor::uniform({1, 3, 8, 8}, rng, 0.0F, 1.0F);
     const Tensor want = model.forward(x);
 
-    pi::PiEngine::Options opts;
-    opts.backend = param.backend;
-    opts.he_ring_degree = 512;
-    pi::PiEngine engine(model, opts);
-    const auto res = engine.run(x);
+    pi::CompiledModel::Options copts;
+    copts.input_chw = {3, 8, 8};
+    copts.he_ring_degree = 512;
+    const pi::CompiledModel compiled(model, copts);
+    const auto res =
+        pi::run_private_inference(compiled, pi::SessionConfig{.backend = param.backend}, x);
     ASSERT_TRUE(res.logits.same_shape(want));
     for (std::int64_t i = 0; i < want.numel(); ++i)
         EXPECT_NEAR(res.logits[i], want[i], 0.02F) << param.name << " logit " << i;
@@ -94,13 +95,14 @@ TEST(EngineDeterminism, SameSeedSameTrafficAndLogits) {
     Rng rng(44);
     nn::Sequential model = build_variant(0, rng);
     const Tensor x = Tensor::uniform({1, 3, 8, 8}, rng, 0.0F, 1.0F);
-    pi::PiEngine::Options opts;
-    opts.he_ring_degree = 512;
-    opts.seed = 777;
-    pi::PiEngine a(model, opts);
-    const auto ra = a.run(x);
-    pi::PiEngine b(model, opts);
-    const auto rb = b.run(x);
+    pi::CompiledModel::Options copts;
+    copts.input_chw = {3, 8, 8};
+    copts.he_ring_degree = 512;
+    const pi::SessionConfig cfg{.seed = 777};
+    const pi::CompiledModel a(model, copts);
+    const auto ra = pi::run_private_inference(a, cfg, x);
+    const pi::CompiledModel b(model, copts);
+    const auto rb = pi::run_private_inference(b, cfg, x);
     EXPECT_TRUE(ra.logits.allclose(rb.logits, 0.0F));
     EXPECT_EQ(ra.stats.total_bytes(), rb.stats.total_bytes());
     EXPECT_EQ(ra.stats.total_flights(), rb.stats.total_flights());
