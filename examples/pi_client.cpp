@@ -1,0 +1,78 @@
+// pi_client: the input owner's half of a real two-process deployment.
+//
+// Connects to a running pi_server over localhost TCP, runs one private
+// inference with pi::ClientSession over net::TcpTransport, and prints
+// the prediction plus the per-phase traffic accounting.
+//
+//   ./build/examples/pi_client [--host H] [--port P] [--full-pi]
+//                              [--backend delphi|cheetah] [--noise L]
+//                              [--input-seed N] [--check]
+//
+// --check recomputes the logits with plaintext inference on the (shared)
+// demo model and fails unless the private result matches within
+// fixed-point tolerance — this is what the CI smoke test asserts across
+// two real OS processes.
+//
+// Peer binary: examples/pi_server.cpp. Wire format: docs/PROTOCOL.md.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/stopwatch.hpp"
+#include "net/tcp.hpp"
+#include "remote_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace c2pi;
+
+    demo::RemoteOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (!demo::parse_remote_flag(argc, argv, i, opts)) {
+            std::fprintf(stderr,
+                         "usage: pi_client [--host H] [--port P] [--full-pi]\n"
+                         "                 [--backend delphi|cheetah] [--noise L]\n"
+                         "                 [--input-seed N] [--check]\n");
+            return 2;
+        }
+    }
+
+    const nn::Sequential model = demo::make_demo_model();
+    const pi::CompiledModel compiled(model, demo::demo_compile_options(opts.full_pi));
+    const pi::ClientSession session(compiled, opts.session);
+
+    Rng input_rng(opts.input_seed);
+    const Tensor input = Tensor::uniform({1, 3, 16, 16}, input_rng, 0.0F, 1.0F);
+
+    std::printf("connecting to %s:%u ...\n", opts.host.c_str(), opts.port);
+    auto transport = net::connect(opts.host, opts.port, /*timeout_ms=*/30'000);
+    transport->set_recv_timeout(120'000);
+
+    Stopwatch watch;
+    const Tensor logits = session.run(*transport, input);
+    auto stats = pi::stats_from_channel(transport->stats());
+    stats.wall_seconds = watch.seconds();
+    transport->close();
+
+    std::int64_t predicted = 0;
+    for (std::int64_t j = 1; j < logits.dim(1); ++j)
+        if (logits[j] > logits[predicted]) predicted = j;
+    std::printf("predicted class: %lld   (%.3f s end-to-end)\n",
+                static_cast<long long>(predicted), stats.wall_seconds);
+    demo::print_stats(stats);
+
+    if (opts.check) {
+        // The demo client holds the full model (see remote_common.hpp),
+        // so it can audit the private result against plaintext inference.
+        const Tensor want = model.infer(input);
+        float max_diff = 0.0F;
+        for (std::int64_t i = 0; i < want.numel(); ++i)
+            max_diff = std::max(max_diff, std::fabs(logits[i] - want[i]));
+        const float tolerance = 0.05F + opts.session.noise_lambda;
+        if (!(max_diff <= tolerance)) {
+            std::printf("CHECK FAILED: max |logit delta| = %.4f > %.4f\n", max_diff, tolerance);
+            return 1;
+        }
+        std::printf("CHECK OK: max |logit delta| = %.4f\n", max_diff);
+    }
+    return 0;
+}

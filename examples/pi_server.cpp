@@ -1,0 +1,69 @@
+// pi_server: the model owner's half of a real two-process deployment.
+//
+// Compiles the demo model ONCE into an immutable pi::CompiledModel, then
+// listens on localhost TCP and serves each accepted connection with a
+// pi::ServerSession over net::TcpTransport — the same session code that
+// runs in-process in quickstart, now as its own OS process.
+//
+//   ./build/examples/pi_server [--port P] [--clients N] [--full-pi]
+//                              [--backend delphi|cheetah] [--noise L]
+//
+// --port 0 binds an ephemeral port (the "listening on" line reports the
+// real one — scripts parse it). --clients 0 serves forever.
+//
+// Peer binary: examples/pi_client.cpp. Wire format: docs/PROTOCOL.md.
+
+#include <cstdio>
+
+#include "core/stopwatch.hpp"
+#include "net/tcp.hpp"
+#include "remote_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace c2pi;
+
+    demo::RemoteOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (!demo::parse_remote_flag(argc, argv, i, opts)) {
+            std::fprintf(stderr,
+                         "usage: pi_server [--port P] [--clients N] [--full-pi]\n"
+                         "                 [--backend delphi|cheetah] [--noise L]\n");
+            return 2;
+        }
+    }
+
+    const nn::Sequential model = demo::make_demo_model();
+    const pi::CompiledModel compiled(model, demo::demo_compile_options(opts.full_pi));
+    const pi::ServerSession session(compiled, opts.session);
+    std::printf("compiled %s model: %lld crypto + %lld clear linear ops\n",
+                opts.full_pi ? "full-PI" : "crypto-clear",
+                static_cast<long long>(compiled.crypto_linear_ops()),
+                static_cast<long long>(compiled.hidden_linear_ops()));
+
+    net::TcpListener listener(opts.port, opts.host);
+    std::printf("listening on %s:%u\n", opts.host.c_str(), listener.port());
+    std::fflush(stdout);
+
+    // Finite --clients (the CI smoke case) treats any failure as fatal so
+    // scripts see a nonzero exit; serve-forever logs and keeps accepting
+    // (a port scanner failing the handshake must not take the server down).
+    const bool forever = opts.clients <= 0;
+    for (int served = 0; forever || served < opts.clients; ++served) {
+        try {
+            auto transport = listener.accept(forever ? -1 : 120'000);
+            transport->set_recv_timeout(120'000);
+            Stopwatch watch;
+            session.run(*transport);
+            auto stats = pi::stats_from_channel(transport->stats());
+            stats.wall_seconds = watch.seconds();
+            transport->close();
+            std::printf("served client %d in %.3f s\n", served + 1, stats.wall_seconds);
+            demo::print_stats(stats);
+            std::fflush(stdout);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "client %d failed: %s\n", served + 1, e.what());
+            if (!forever) return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,114 @@
+#pragma once
+
+// Shared setup for the two-process deployment demo (pi_server/pi_client).
+//
+// Both binaries reconstruct the same demo model from the same fixed seed.
+// That is a stand-in for distributing the model *architecture*: a real
+// deployment would ship the topology and the public protocol parameters
+// (fixed-point format, HE ring degree, boundary) to the client while the
+// trained weights stay on the server — the client side of the protocol
+// only ever uses the architecture (CompiledModel::plan/fmt/bfv), never
+// the server's weights.
+//
+// The two processes must agree on every protocol parameter below; pass
+// the same --full-pi/--backend/--noise flags to both.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "nn/layers.hpp"
+#include "pi/session.hpp"
+
+namespace c2pi::demo {
+
+inline constexpr std::uint16_t kDefaultPort = 17117;
+
+/// Small conv net on 16x16 RGB inputs (the tests' reference topology:
+/// conv/pool/ReLU/FC coverage, fast enough for a CI smoke test).
+inline nn::Sequential make_demo_model() {
+    Rng rng(7);
+    nn::Sequential m;
+    m.emplace<nn::Conv2d>(3, 6, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng);
+    m.emplace<nn::Relu>();
+    m.emplace<nn::MaxPool2d>(2, 2);
+    m.emplace<nn::Conv2d>(6, 8, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng);
+    m.emplace<nn::Relu>();
+    m.emplace<nn::MaxPool2d>(2, 2);
+    m.emplace<nn::Flatten>();
+    m.emplace<nn::Linear>(8 * 4 * 4, 16, rng);
+    m.emplace<nn::Relu>();
+    m.emplace<nn::Linear>(16, 10, rng);
+    return m;
+}
+
+inline pi::CompiledModel::Options demo_compile_options(bool full_pi) {
+    pi::CompiledModel::Options opts;
+    opts.input_chw = {3, 16, 16};
+    opts.he_ring_degree = 1024;
+    if (!full_pi) opts.boundary = nn::CutPoint{.linear_index = 2, .after_relu = true};
+    return opts;
+}
+
+/// Flags shared by both binaries; each adds its own on top.
+struct RemoteOptions {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = kDefaultPort;
+    bool full_pi = false;
+    pi::SessionConfig session{};  // backend/noise/seed: must match peer
+    int clients = 1;              // server: connections to serve (0 = forever)
+    std::uint64_t input_seed = 100;  // client: RNG seed for the demo input
+    bool check = false;              // client: verify against plaintext
+};
+
+/// Parse flags understood by both binaries; returns nullopt-style false
+/// on an unknown flag (caller prints usage).
+inline bool parse_remote_flag(int argc, char** argv, int& i, RemoteOptions& o) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    if (flag == "--host") {
+        o.host = value();
+    } else if (flag == "--port") {
+        o.port = static_cast<std::uint16_t>(std::strtoul(value(), nullptr, 10));
+    } else if (flag == "--full-pi") {
+        o.full_pi = true;
+    } else if (flag == "--backend") {
+        const std::string b = value();
+        if (b == "delphi") {
+            o.session.backend = pi::PiBackend::kDelphi;
+        } else if (b == "cheetah") {
+            o.session.backend = pi::PiBackend::kCheetah;
+        } else {
+            std::fprintf(stderr, "unknown backend '%s' (delphi|cheetah)\n", b.c_str());
+            std::exit(2);
+        }
+    } else if (flag == "--noise") {
+        o.session.noise_lambda = std::strtof(value(), nullptr);
+    } else if (flag == "--clients") {
+        o.clients = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--input-seed") {
+        o.input_seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--check") {
+        o.check = true;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+inline void print_stats(const pi::PiStats& s) {
+    std::printf("  traffic: %.2f KiB offline + %.2f KiB online   flights: %llu + %llu\n",
+                static_cast<double>(s.offline_bytes) / 1024.0,
+                static_cast<double>(s.online_bytes) / 1024.0,
+                static_cast<unsigned long long>(s.offline_flights),
+                static_cast<unsigned long long>(s.online_flights));
+}
+
+}  // namespace c2pi::demo

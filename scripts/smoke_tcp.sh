@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Two-process deployment smoke test: launch pi_server and pi_client as
+# separate OS processes over localhost TCP and require the client to
+# (a) produce a prediction and (b) pass its --check audit against
+# plaintext inference. Run by CI and registered as the `smoke_tcp`
+# ctest; also runnable by hand:
+#
+#   scripts/smoke_tcp.sh [path/to/build/examples]
+#
+# Uses an ephemeral port (the server's "listening on" line reports it),
+# so parallel runs cannot collide.
+set -euo pipefail
+
+bin_dir=${1:-build/examples}
+server_bin=$bin_dir/pi_server
+client_bin=$bin_dir/pi_client
+[[ -x $server_bin && -x $client_bin ]] || {
+    echo "smoke_tcp: missing $server_bin or $client_bin (build first)" >&2
+    exit 1
+}
+
+workdir=$(mktemp -d)
+server_log=$workdir/server.log
+client_log=$workdir/client.log
+server_pid=
+cleanup() {
+    [[ -n $server_pid ]] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$server_bin" --port 0 --clients 1 >"$server_log" 2>&1 &
+server_pid=$!
+
+port=
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$server_log")
+    [[ -n $port ]] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$server_log" >&2; exit 1; }
+    sleep 0.1
+done
+[[ -n $port ]] || { echo "smoke_tcp: server never reported its port" >&2; cat "$server_log" >&2; exit 1; }
+
+client_rc=0
+"$client_bin" --port "$port" --check >"$client_log" 2>&1 || client_rc=$?
+
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=
+
+echo "--- pi_server ---"; cat "$server_log"
+echo "--- pi_client ---"; cat "$client_log"
+
+[[ $client_rc -eq 0 ]] || { echo "smoke_tcp: client failed (rc=$client_rc)" >&2; exit 1; }
+[[ $server_rc -eq 0 ]] || { echo "smoke_tcp: server failed (rc=$server_rc)" >&2; exit 1; }
+grep -q "predicted class:" "$client_log" || { echo "smoke_tcp: no prediction in client output" >&2; exit 1; }
+grep -q "CHECK OK" "$client_log" || { echo "smoke_tcp: client check did not pass" >&2; exit 1; }
+echo "smoke_tcp: OK (two processes, port $port)"

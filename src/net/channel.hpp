@@ -4,46 +4,18 @@
 /// In-process two-party transport with exact traffic accounting.
 ///
 /// The two protocol parties run on two threads connected by a pair of
-/// blocking byte queues. Every send is recorded in shared ChannelStats:
-/// bytes per phase (offline/online) and the number of message *flights*
-/// (maximal runs of messages in one direction), which is what round-trip
-/// latency scales with. The deterministic LAN/WAN latency model in
-/// cost_model.hpp turns (measured compute, bytes, flights) into the
-/// latencies reported in Table II (DESIGN.md §4, substitution 5).
+/// blocking byte queues; `InProcTransport` adapts one endpoint to the
+/// `Transport` seam (transport.hpp). Every send is recorded in the
+/// channel's shared ChannelStats. The socket-backed sibling is
+/// `TcpTransport` (tcp.hpp); both keep bit-identical accounting.
 
 #include <condition_variable>
-#include <cstdint>
-#include <cstring>
 #include <deque>
 #include <mutex>
-#include <span>
-#include <vector>
 
-#include "core/error.hpp"
+#include "net/transport.hpp"
 
 namespace c2pi::net {
-
-/// Protocol phase tag for traffic accounting (Delphi separates an input-
-/// independent offline phase; Cheetah is online-only).
-enum class Phase { kOffline = 0, kOnline = 1 };
-inline constexpr int kNumPhases = 2;
-
-/// Traffic counters shared by both directions of a duplex channel.
-/// Thread-safe: all mutation happens under the owning queue's mutex.
-struct ChannelStats {
-    std::uint64_t bytes[kNumPhases][2] = {};     ///< [phase][sender]
-    std::uint64_t messages[kNumPhases][2] = {};  ///< [phase][sender]
-    std::uint64_t flights[kNumPhases] = {};      ///< direction changes per phase
-    int last_sender = -1;                        ///< for flight counting
-
-    [[nodiscard]] std::uint64_t total_bytes() const {
-        return bytes[0][0] + bytes[0][1] + bytes[1][0] + bytes[1][1];
-    }
-    [[nodiscard]] std::uint64_t phase_bytes(Phase p) const {
-        return bytes[static_cast<int>(p)][0] + bytes[static_cast<int>(p)][1];
-    }
-    [[nodiscard]] std::uint64_t total_flights() const { return flights[0] + flights[1]; }
-};
 
 /// One blocking FIFO direction of the duplex channel.
 class ByteQueue {
@@ -70,20 +42,14 @@ private:
     std::deque<std::vector<std::uint8_t>> queue_;
 };
 
-/// Shared state of a two-party connection.
+/// Shared state of an in-process two-party connection.
 class DuplexChannel {
 public:
     ByteQueue& queue_to(int receiver) { return queues_[receiver]; }
 
     void record_send(int sender, Phase phase, std::size_t bytes) {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
-        const int p = static_cast<int>(phase);
-        stats_.bytes[p][sender] += bytes;
-        stats_.messages[p][sender] += 1;
-        if (stats_.last_sender != sender) {
-            stats_.flights[p] += 1;
-            stats_.last_sender = sender;
-        }
+        stats_.record(sender, phase, bytes);
     }
 
     [[nodiscard]] ChannelStats stats() const {
@@ -102,57 +68,25 @@ private:
     ChannelStats stats_;
 };
 
-/// A party's endpoint of the duplex channel. party_id is 0 (server) or 1
-/// (client) by convention throughout the repo.
-class Transport {
+/// A party's in-process endpoint of the duplex channel.
+class InProcTransport final : public Transport {
 public:
-    Transport(DuplexChannel& channel, int party_id)
-        : channel_(&channel), party_(party_id) {
-        require(party_id == 0 || party_id == 1, "party_id must be 0 or 1");
-    }
+    InProcTransport(DuplexChannel& channel, int party_id)
+        : Transport(party_id), channel_(&channel) {}
 
-    [[nodiscard]] int party_id() const { return party_; }
-
-    void set_phase(Phase phase) { phase_ = phase; }
-    [[nodiscard]] Phase phase() const { return phase_; }
-
-    void send_bytes(std::span<const std::uint8_t> data) {
+    void send_bytes(std::span<const std::uint8_t> data) override {
         channel_->record_send(party_, phase_, data.size());
         channel_->queue_to(1 - party_).push(std::vector<std::uint8_t>(data.begin(), data.end()));
     }
 
-    [[nodiscard]] std::vector<std::uint8_t> recv_bytes() {
+    [[nodiscard]] std::vector<std::uint8_t> recv_bytes() override {
         return channel_->queue_to(party_).pop();
     }
 
-    // -- typed helpers -------------------------------------------------------
-    void send_u64s(std::span<const std::uint64_t> values) {
-        send_bytes(std::span<const std::uint8_t>(
-            reinterpret_cast<const std::uint8_t*>(values.data()), values.size() * 8));
-    }
-
-    [[nodiscard]] std::vector<std::uint64_t> recv_u64s() {
-        const auto raw = recv_bytes();
-        require(raw.size() % 8 == 0, "recv_u64s: payload not a multiple of 8 bytes");
-        std::vector<std::uint64_t> values(raw.size() / 8);
-        std::memcpy(values.data(), raw.data(), raw.size());
-        return values;
-    }
-
-    void send_u64(std::uint64_t v) { send_u64s(std::span<const std::uint64_t>(&v, 1)); }
-
-    [[nodiscard]] std::uint64_t recv_u64() {
-        const auto v = recv_u64s();
-        require(v.size() == 1, "expected a single u64");
-        return v[0];
-    }
-
-    [[nodiscard]] ChannelStats stats() const { return channel_->stats(); }
+    [[nodiscard]] ChannelStats stats() const override { return channel_->stats(); }
 
 private:
     DuplexChannel* channel_;
-    int party_;
-    Phase phase_ = Phase::kOnline;
 };
 
 }  // namespace c2pi::net

@@ -24,7 +24,7 @@ RunResult run_two_party(DuplexChannel& channel,
 
     std::thread server_thread([&] {
         try {
-            Transport t(channel, 0);
+            InProcTransport t(channel, 0);
             server(t);
         } catch (...) {
             server_error = std::current_exception();
@@ -33,7 +33,7 @@ RunResult run_two_party(DuplexChannel& channel,
     });
     std::thread client_thread([&] {
         try {
-            Transport t(channel, 1);
+            InProcTransport t(channel, 1);
             client(t);
         } catch (...) {
             client_error = std::current_exception();

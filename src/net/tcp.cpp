@@ -1,0 +1,356 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // BSD/macOS: SO_NOSIGPIPE is set per-socket instead
+#endif
+
+namespace c2pi::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const char* what) {
+    fail(std::string(what) + ": " + std::strerror(errno));
+}
+
+void close_quietly(int& fd) {
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/// Write the whole buffer (send(2) may write short). MSG_NOSIGNAL turns
+/// a dead peer into EPIPE instead of a process-killing SIGPIPE.
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            fail_errno("tcp send");
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+/// Read exactly `len` bytes; false on clean EOF at a frame boundary
+/// (offset 0), throws on EOF mid-buffer, timeout, or socket error.
+bool read_all(int fd, std::uint8_t* data, std::size_t len) {
+    std::size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, data + got, len - got, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) fail("tcp recv: timed out");
+            fail_errno("tcp recv");
+        }
+        if (n == 0) {
+            if (got == 0) return false;
+            fail("tcp recv: connection closed mid-frame");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void put_u32le(std::uint8_t* p, std::uint32_t v) {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32le(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    require(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+            "not an IPv4 address: " + host);
+    return addr;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ TcpTransport ---
+
+TcpTransport::TcpTransport(int fd, int party_id, int handshake_timeout_ms)
+    : Transport(party_id), fd_(fd) {
+    require(fd >= 0, "TcpTransport needs a connected socket");
+    require(handshake_timeout_ms > 0, "handshake timeout must be positive");
+    const int one = 1;
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+#ifdef SO_NOSIGPIPE  // BSD/macOS spelling of MSG_NOSIGNAL's job
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+
+    // Handshake: magic | version | party | reserved, both directions. On
+    // failure the socket must be closed HERE: the destructor never runs
+    // for a throwing constructor, and a leaked-open fd would leave the
+    // peer blocked on recv instead of seeing our EOF. The read is
+    // deadline-bounded so a connected-but-silent peer (a port scanner, a
+    // stalled client) cannot wedge an accept-loop server; protocol recv
+    // reverts to blocking-forever unless set_recv_timeout says otherwise.
+    timeval handshake_tv{};
+    handshake_tv.tv_sec = handshake_timeout_ms / 1000;
+    handshake_tv.tv_usec = (handshake_timeout_ms % 1000) * 1000;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &handshake_tv, sizeof(handshake_tv));
+    try {
+        std::uint8_t hello[kHandshakeSize] = {kWireMagic[0], kWireMagic[1], kWireMagic[2],
+                                              kWireMagic[3], kWireVersion,
+                                              static_cast<std::uint8_t>(party_), 0, 0};
+        write_all(fd_, hello, sizeof(hello));
+        std::uint8_t peer[kHandshakeSize];
+        if (!read_all(fd_, peer, sizeof(peer)))
+            fail("tcp handshake: peer closed the connection");
+        require(std::memcmp(peer, kWireMagic, sizeof(kWireMagic)) == 0,
+                "tcp handshake: bad magic (not a C2PI peer)");
+        require(peer[4] == kWireVersion, "tcp handshake: protocol version mismatch");
+        require(peer[5] == static_cast<std::uint8_t>(1 - party_),
+                "tcp handshake: both endpoints claim the same party role");
+    } catch (...) {
+        close_quietly(fd_);
+        throw;
+    }
+    handshake_tv = timeval{};
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &handshake_tv, sizeof(handshake_tv));
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+void TcpTransport::send_frame(FrameType type, Phase phase,
+                              std::span<const std::uint8_t> payload) {
+    require(payload.size() <= kMaxFramePayload, "tcp send: frame payload too large");
+    std::uint8_t header[kFrameHeaderSize];
+    put_u32le(header, static_cast<std::uint32_t>(payload.size()));
+    header[4] = static_cast<std::uint8_t>(type);
+    header[5] = static_cast<std::uint8_t>(phase);
+    header[6] = header[7] = 0;
+    // Gathered write: header and payload go out in one sendmsg (sharing a
+    // TCP segment when they fit) without copying the payload — the HE
+    // ciphertext messages are multiple megabytes. Partial writes resume
+    // at the right offset across both buffers.
+    const std::size_t total = kFrameHeaderSize + payload.size();
+    std::size_t off = 0;
+    while (off < total) {
+        iovec iov[2];
+        std::size_t cnt = 0;
+        if (off < kFrameHeaderSize) {
+            iov[cnt++] = {header + off, kFrameHeaderSize - off};
+            if (!payload.empty())
+                iov[cnt++] = {const_cast<std::uint8_t*>(payload.data()), payload.size()};
+        } else {
+            const std::size_t done = off - kFrameHeaderSize;
+            iov[cnt++] = {const_cast<std::uint8_t*>(payload.data()) + done,
+                          payload.size() - done};
+        }
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = cnt;
+        const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            fail_errno("tcp send");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void TcpTransport::send_bytes(std::span<const std::uint8_t> data) {
+    require(is_open(), "tcp send: transport is closed");
+    send_frame(FrameType::kData, phase_, data);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.record(party_, phase_, data.size());
+}
+
+std::vector<std::uint8_t> TcpTransport::recv_bytes() {
+    require(is_open(), "tcp recv: transport is closed");
+    require(!peer_shutdown_, "tcp recv: peer already ended the session");
+    std::uint8_t header[kFrameHeaderSize];
+    if (!read_all(fd_, header, sizeof(header)))
+        fail("tcp recv: connection closed mid-protocol (no shutdown frame)");
+    const std::uint32_t len = get_u32le(header);
+    require(len <= kMaxFramePayload, "tcp recv: frame payload too large (corrupt header?)");
+    require(header[6] == 0 && header[7] == 0, "tcp recv: nonzero reserved header bytes");
+    const auto type = static_cast<FrameType>(header[4]);
+    if (type == FrameType::kShutdown) {
+        peer_shutdown_ = true;
+        fail("tcp recv: peer ended the session");
+    }
+    require(type == FrameType::kData, "tcp recv: unknown frame type");
+    require(header[5] < kNumPhases, "tcp recv: bad phase tag");
+    const auto phase = static_cast<Phase>(header[5]);
+
+    std::vector<std::uint8_t> payload(len);
+    if (len > 0 && !read_all(fd_, payload.data(), len))
+        fail("tcp recv: connection closed mid-frame");
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.record(1 - party_, phase, len);
+    return payload;
+}
+
+ChannelStats TcpTransport::stats() const {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+void TcpTransport::set_recv_timeout(int milliseconds) {
+    require(is_open(), "set_recv_timeout: transport is closed");
+    timeval tv{};
+    tv.tv_sec = milliseconds / 1000;
+    tv.tv_usec = (milliseconds % 1000) * 1000;
+    require(::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0,
+            "set_recv_timeout failed");
+}
+
+void TcpTransport::close() noexcept {
+    if (fd_ < 0) return;
+    // Best-effort goodbye so the peer sees a clean end-of-session, then
+    // half-close and drain: waiting for the peer's EOF (or goodbye)
+    // avoids the RST-on-close race that can eat our last frame.
+    try {
+        send_frame(FrameType::kShutdown, phase_, {});
+    } catch (...) {  // peer already gone; nothing to announce
+    }
+    (void)::shutdown(fd_, SHUT_WR);
+    timeval tv{};
+    tv.tv_sec = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::uint8_t sink[4096];
+    while (::recv(fd_, sink, sizeof(sink), 0) > 0) {
+    }
+    close_quietly(fd_);
+}
+
+// ------------------------------------------------------------- TcpListener ---
+
+TcpListener::TcpListener(std::uint16_t port, const std::string& host) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) fail_errno("tcp listen: socket");
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = make_addr(host, port);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        close_quietly(fd_);
+        fail_errno("tcp listen: bind");
+    }
+    if (::listen(fd_, /*backlog=*/16) != 0) {
+        close_quietly(fd_);
+        fail_errno("tcp listen: listen");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    require(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+            "tcp listen: getsockname failed");
+    port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<TcpTransport> TcpListener::accept(int timeout_ms) {
+    require(fd_ >= 0, "accept: listener is closed");
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+        const int r = ::poll(&pfd, 1, timeout_ms);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            fail_errno("tcp accept: poll");
+        }
+        if (r == 0) fail("tcp accept: timed out waiting for a client");
+        break;
+    }
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) fail_errno("tcp accept");
+    return std::make_unique<TcpTransport>(client, /*party_id=*/0);
+}
+
+void TcpListener::close() noexcept { close_quietly(fd_); }
+
+// ----------------------------------------------------------------- connect ---
+
+namespace {
+
+/// One non-blocking connect attempt bounded by `budget_ms`, so a host
+/// that silently drops SYNs cannot stall past the caller's deadline the
+/// way a blocking ::connect (kernel SYN-retry cycle, minutes) would.
+/// Returns the connected fd, or -1 with errno set.
+int try_connect_once(const sockaddr_in& addr, int budget_ms) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail_errno("tcp connect: socket");
+    (void)::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    int err = 0;
+    if (rc != 0) {
+        if (errno != EINPROGRESS) {
+            err = errno;
+            ::close(fd);
+            errno = err;
+            return -1;
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, budget_ms);
+        socklen_t len = sizeof(err);
+        if (ready <= 0 ||
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+            if (ready == 0) err = ETIMEDOUT;
+            if (err == 0) err = errno;
+            ::close(fd);
+            errno = err;
+            return -1;
+        }
+    }
+    // Back to blocking mode for the transport's send/recv loops.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    return fd;
+}
+
+}  // namespace
+
+std::unique_ptr<TcpTransport> connect(const std::string& host, std::uint16_t port,
+                                      int timeout_ms) {
+    const sockaddr_in addr = make_addr(host, port);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        const int budget_ms = std::max(1, static_cast<int>(remaining.count()));
+        const int fd = try_connect_once(addr, budget_ms);
+        // The handshake inherits the caller's remaining deadline: the
+        // server's hello only arrives once it accept()s us, which can be
+        // a full serving cycle away on a busy sequential server.
+        if (fd >= 0) return std::make_unique<TcpTransport>(fd, /*party_id=*/1, budget_ms);
+        const int err = errno;
+        // The server may simply not be up yet; keep knocking until the
+        // deadline for the errors that mean "nobody listening (yet)".
+        const bool retryable = err == ECONNREFUSED || err == ETIMEDOUT || err == EINTR ||
+                               err == ECONNRESET || err == EAGAIN;
+        if (!retryable || std::chrono::steady_clock::now() >= deadline) {
+            errno = err;
+            fail_errno(("tcp connect to " + host + ":" + std::to_string(port)).c_str());
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+}  // namespace c2pi::net

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file tcp.hpp
+/// Socket-backed implementation of the `Transport` seam: the two parties
+/// run as two OS processes connected over TCP.
+///
+/// Wire format (normative spec: docs/PROTOCOL.md). After a fixed 8-byte
+/// handshake in each direction, every `send_bytes` becomes one frame:
+/// an 8-byte header (little-endian payload length, frame type, phase
+/// tag) followed by the payload. The phase tag lets the *receiver*
+/// attribute traffic to the sender's protocol phase, so each endpoint
+/// reconstructs the full per-phase `ChannelStats` — bytes, messages and
+/// flights bit-identical to the in-process `DuplexChannel` accounting
+/// (only protocol payload is counted, never headers or the handshake).
+///
+/// Connection establishment is asymmetric (`listen` + `accept` on the
+/// server, `connect` with a retry deadline on the client) but the
+/// resulting `TcpTransport` endpoints are symmetric peers. Shutdown is
+/// explicit: `close()` sends a kShutdown frame before closing the
+/// socket, so the peer can distinguish a clean end-of-session from a
+/// mid-protocol crash (abrupt EOF), and both throw `c2pi::Error` from a
+/// pending `recv_bytes`.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace c2pi::net {
+
+/// Frame/handshake constants, shared with docs/PROTOCOL.md.
+inline constexpr std::uint8_t kWireMagic[4] = {'C', '2', 'P', 'I'};
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHandshakeSize = 8;
+inline constexpr std::size_t kFrameHeaderSize = 8;
+/// Upper bound on a single frame's payload; a corrupt or hostile header
+/// fails fast instead of triggering a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 1U << 30;
+
+enum class FrameType : std::uint8_t { kData = 1, kShutdown = 2 };
+
+/// One party's endpoint of a TCP connection. Obtain via TcpListener
+/// (server, party 0) or connect() (client, party 1); the constructor
+/// performs the version/party handshake and enables TCP_NODELAY (the
+/// protocols are ping-pong; Nagle would serialize every flight behind a
+/// delayed ACK).
+class TcpTransport final : public Transport {
+public:
+    /// Adopts a connected socket and runs the handshake, whose read is
+    /// bounded by `handshake_timeout_ms` (an accepting server must not be
+    /// wedged by a connected-but-silent peer; a connector must be allowed
+    /// to wait out the server's accept queue, so connect() passes its
+    /// caller's remaining deadline). Throws c2pi::Error on timeout, a
+    /// magic/version mismatch, or if the peer claims the same party id.
+    TcpTransport(int fd, int party_id, int handshake_timeout_ms = 10'000);
+    ~TcpTransport() override;
+
+    void send_bytes(std::span<const std::uint8_t> data) override;
+    [[nodiscard]] std::vector<std::uint8_t> recv_bytes() override;
+    [[nodiscard]] ChannelStats stats() const override;
+
+    /// Abort a `recv_bytes` blocked longer than this (0 restores
+    /// blocking forever). Protects servers from stalled peers.
+    void set_recv_timeout(int milliseconds);
+
+    /// Graceful shutdown: send a kShutdown frame, half-close, drain the
+    /// peer's remaining bytes, close. Idempotent; also run (with errors
+    /// swallowed) by the destructor.
+    void close() noexcept;
+    [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+private:
+    void send_frame(FrameType type, Phase phase, std::span<const std::uint8_t> payload);
+
+    int fd_ = -1;
+    bool peer_shutdown_ = false;
+    mutable std::mutex stats_mutex_;
+    ChannelStats stats_;
+};
+
+/// Listening socket for the server party. Binds immediately (port 0 asks
+/// the OS for an ephemeral port — see port()); SO_REUSEADDR is set so
+/// quick restarts don't trip TIME_WAIT.
+class TcpListener {
+public:
+    /// Listen on `host:port`. Defaults to loopback; use "0.0.0.0" to
+    /// accept remote clients.
+    explicit TcpListener(std::uint16_t port, const std::string& host = "127.0.0.1");
+    ~TcpListener();
+
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    /// The actual bound port (resolves port 0).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// Accept one client and complete the handshake as party 0.
+    /// `timeout_ms` < 0 blocks indefinitely; on timeout throws c2pi::Error.
+    [[nodiscard]] std::unique_ptr<TcpTransport> accept(int timeout_ms = -1);
+
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/// Connect to a listening server and complete the handshake as party 1.
+/// Retries refused connections until `timeout_ms` elapses, so a client
+/// started moments before its server still connects.
+[[nodiscard]] std::unique_ptr<TcpTransport> connect(const std::string& host, std::uint16_t port,
+                                                    int timeout_ms = 5000);
+
+}  // namespace c2pi::net

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file transport.hpp
+/// The party-to-party transport seam shared by every protocol layer.
+///
+/// A `Transport` is one party's endpoint of a two-party connection. The
+/// protocol code (OT extension, HE linear layers, the PI sessions) only
+/// ever sees this interface, so the same session runs unchanged over the
+/// in-process `DuplexChannel` (channel.hpp) or a real TCP socket
+/// (tcp.hpp).
+///
+/// Every implementation keeps the exact same traffic accounting in
+/// `ChannelStats`: payload bytes and message counts per (phase, sender),
+/// and the number of message *flights* (maximal runs of messages in one
+/// direction), which is what round-trip latency scales with. The
+/// deterministic LAN/WAN latency model in cost_model.hpp turns (measured
+/// compute, bytes, flights) into the latencies reported in Table II
+/// (DESIGN.md §4, substitution 5). Transport-level overhead — frame
+/// headers, handshakes — is deliberately *not* counted, so the stats are
+/// comparable across transports and match the analytic cost model.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace c2pi::net {
+
+/// Protocol phase tag for traffic accounting (Delphi separates an input-
+/// independent offline phase; Cheetah is online-only).
+enum class Phase { kOffline = 0, kOnline = 1 };
+inline constexpr int kNumPhases = 2;
+
+/// Traffic counters for one two-party connection. For the in-process
+/// channel the two parties share one instance; each TCP endpoint keeps
+/// its own, and the two views are identical because both parties observe
+/// every message of the (sequential) protocol in the same order.
+struct ChannelStats {
+    std::uint64_t bytes[kNumPhases][2] = {};     ///< [phase][sender]
+    std::uint64_t messages[kNumPhases][2] = {};  ///< [phase][sender]
+    std::uint64_t flights[kNumPhases] = {};      ///< direction-change runs per phase
+    int last_sender = -1;                        ///< for flight counting
+
+    /// Account one message: payload bytes under (phase, sender), and a
+    /// new flight — charged to the phase of the message that opens it —
+    /// whenever the direction turns over.
+    void record(int sender, Phase phase, std::size_t payload_bytes) {
+        const int p = static_cast<int>(phase);
+        bytes[p][sender] += payload_bytes;
+        messages[p][sender] += 1;
+        if (last_sender != sender) {
+            flights[p] += 1;
+            last_sender = sender;
+        }
+    }
+
+    [[nodiscard]] std::uint64_t total_bytes() const {
+        return bytes[0][0] + bytes[0][1] + bytes[1][0] + bytes[1][1];
+    }
+    [[nodiscard]] std::uint64_t phase_bytes(Phase p) const {
+        return bytes[static_cast<int>(p)][0] + bytes[static_cast<int>(p)][1];
+    }
+    [[nodiscard]] std::uint64_t phase_flights(Phase p) const {
+        return flights[static_cast<int>(p)];
+    }
+    [[nodiscard]] std::uint64_t total_flights() const { return flights[0] + flights[1]; }
+
+    friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
+};
+
+/// A party's endpoint of a two-party connection. party_id is 0 (server)
+/// or 1 (client) by convention throughout the repo.
+///
+/// Message semantics (identical for every implementation): `send_bytes`
+/// delivers one framed message; `recv_bytes` returns exactly one message,
+/// in FIFO order, blocking until it arrives. Sizes are preserved — a
+/// 7-byte send arrives as a 7-byte message, never split or coalesced.
+class Transport {
+public:
+    explicit Transport(int party_id) : party_(party_id) {
+        require(party_id == 0 || party_id == 1, "party_id must be 0 or 1");
+    }
+    virtual ~Transport() = default;
+
+    Transport(const Transport&) = delete;
+    Transport& operator=(const Transport&) = delete;
+
+    [[nodiscard]] int party_id() const { return party_; }
+
+    /// Phase under which subsequent sends are accounted (and, for framed
+    /// transports, tagged on the wire so the receiver attributes them to
+    /// the same phase).
+    void set_phase(Phase phase) { phase_ = phase; }
+    [[nodiscard]] Phase phase() const { return phase_; }
+
+    /// Send one message to the peer.
+    virtual void send_bytes(std::span<const std::uint8_t> data) = 0;
+    /// Block until the peer's next message arrives and return it.
+    [[nodiscard]] virtual std::vector<std::uint8_t> recv_bytes() = 0;
+    /// Snapshot of this connection's traffic accounting.
+    [[nodiscard]] virtual ChannelStats stats() const = 0;
+
+    // -- typed helpers -------------------------------------------------------
+    void send_u64s(std::span<const std::uint64_t> values) {
+        send_bytes(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(values.data()), values.size() * 8));
+    }
+
+    [[nodiscard]] std::vector<std::uint64_t> recv_u64s() {
+        const auto raw = recv_bytes();
+        require(raw.size() % 8 == 0, "recv_u64s: payload not a multiple of 8 bytes");
+        std::vector<std::uint64_t> values(raw.size() / 8);
+        std::memcpy(values.data(), raw.data(), raw.size());
+        return values;
+    }
+
+    void send_u64(std::uint64_t v) { send_u64s(std::span<const std::uint64_t>(&v, 1)); }
+
+    [[nodiscard]] std::uint64_t recv_u64() {
+        const auto v = recv_u64s();
+        require(v.size() == 1, "expected a single u64");
+        return v[0];
+    }
+
+protected:
+    int party_;
+    Phase phase_ = Phase::kOnline;
+};
+
+}  // namespace c2pi::net

@@ -183,13 +183,18 @@ Tensor ClientSession::run(net::Transport& transport, const Tensor& input) const 
     return logits;
 }
 
-PiStats stats_from_run(const net::RunResult& run) {
+PiStats stats_from_channel(const net::ChannelStats& channel) {
     PiStats stats;
+    stats.offline_bytes = channel.phase_bytes(net::Phase::kOffline);
+    stats.online_bytes = channel.phase_bytes(net::Phase::kOnline);
+    stats.offline_flights = channel.phase_flights(net::Phase::kOffline);
+    stats.online_flights = channel.phase_flights(net::Phase::kOnline);
+    return stats;
+}
+
+PiStats stats_from_run(const net::RunResult& run) {
+    PiStats stats = stats_from_channel(run.stats);
     stats.wall_seconds = run.wall_seconds;
-    stats.offline_bytes = run.stats.phase_bytes(net::Phase::kOffline);
-    stats.online_bytes = run.stats.phase_bytes(net::Phase::kOnline);
-    stats.offline_flights = run.stats.flights[static_cast<int>(net::Phase::kOffline)];
-    stats.online_flights = run.stats.flights[static_cast<int>(net::Phase::kOnline)];
     return stats;
 }
 

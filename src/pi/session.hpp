@@ -11,9 +11,11 @@
 /// and one CompiledModel — can serve any number of concurrent runs.
 ///
 /// `run_private_inference` wires one server and one client through an
-/// in-process `net::DuplexChannel` (the classic two-thread setup); the
-/// session API itself is transport-agnostic, which is the seam for real
-/// socket transports and multi-client serving.
+/// in-process `net::DuplexChannel` (the classic two-thread setup). The
+/// session API itself is transport-agnostic: the same sessions run as
+/// two OS processes over `net::TcpTransport` (tcp.hpp) — see
+/// examples/pi_server.cpp and examples/pi_client.cpp for the deployed
+/// two-process wiring.
 
 #include <functional>
 
@@ -88,6 +90,12 @@ void validate_client_input(const CompiledModel& model, const Tensor& input);
 /// threads over a DuplexChannel) and run a single inference.
 [[nodiscard]] PiResult run_private_inference(const CompiledModel& model,
                                              const SessionConfig& config, const Tensor& input);
+
+/// Translate per-phase channel accounting into PiStats. Works for any
+/// Transport implementation (the in-process channel and TcpTransport
+/// keep identical accounting); wall time is not the channel's to know —
+/// fill `wall_seconds` from your own clock.
+[[nodiscard]] PiStats stats_from_channel(const net::ChannelStats& stats);
 
 /// Translate a finished run's channel accounting into PiStats.
 [[nodiscard]] PiStats stats_from_run(const net::RunResult& run);

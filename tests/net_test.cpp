@@ -55,6 +55,53 @@ TEST(Channel, FlightCountingTracksDirectionChanges) {
     EXPECT_EQ(channel.stats().total_flights(), 3U);
 }
 
+TEST(ChannelStats, RecordCountsDirectionChangeRunsPerPhase) {
+    // A flight is a maximal run of messages in ONE direction; it is
+    // charged to the phase of the message that OPENS it, and a phase
+    // change inside a run does not open a new flight.
+    ChannelStats s;
+    s.record(0, Phase::kOffline, 10);  // flight 1 (offline)
+    s.record(0, Phase::kOffline, 10);  // same run
+    s.record(0, Phase::kOnline, 10);   // same run: phase flip, no turn
+    s.record(1, Phase::kOnline, 5);    // flight 2 (online)
+    s.record(0, Phase::kOffline, 1);   // flight 3 (offline)
+    s.record(1, Phase::kOffline, 1);   // flight 4 (offline)
+    EXPECT_EQ(s.phase_flights(Phase::kOffline), 3U);
+    EXPECT_EQ(s.phase_flights(Phase::kOnline), 1U);
+    EXPECT_EQ(s.total_flights(), 4U);
+    EXPECT_EQ(s.bytes[static_cast<int>(Phase::kOffline)][0], 21U);
+    EXPECT_EQ(s.messages[static_cast<int>(Phase::kOffline)][0], 3U);
+    EXPECT_EQ(s.messages[static_cast<int>(Phase::kOnline)][1], 1U);
+}
+
+TEST(Channel, FlightsAttributedToPhasesAcrossTheWireProtocol) {
+    // The same per-phase attribution, end to end through a transport
+    // pair: an offline run, an online reply, an offline turn.
+    DuplexChannel channel;
+    run_two_party(
+        channel,
+        [](Transport& t) {
+            t.set_phase(Phase::kOffline);
+            t.send_u64(1);  // flight 1 opens offline
+            t.set_phase(Phase::kOnline);
+            t.send_u64(2);  // same flight, now online bytes
+            (void)t.recv_u64();
+            t.set_phase(Phase::kOffline);
+            t.send_u64(3);  // flight 3 opens offline
+        },
+        [](Transport& t) {
+            (void)t.recv_u64();
+            (void)t.recv_u64();
+            t.send_u64(9);  // flight 2 opens online
+            (void)t.recv_u64();
+        });
+    const auto s = channel.stats();
+    EXPECT_EQ(s.phase_flights(Phase::kOffline), 2U);
+    EXPECT_EQ(s.phase_flights(Phase::kOnline), 1U);
+    EXPECT_EQ(s.phase_bytes(Phase::kOffline), 16U);
+    EXPECT_EQ(s.phase_bytes(Phase::kOnline), 16U);
+}
+
 TEST(Channel, TypedHelpersRoundTrip) {
     DuplexChannel channel;
     std::vector<std::uint64_t> got;
