@@ -13,7 +13,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "attack/inverse.hpp"
 #include "attack/mla.hpp"
@@ -226,6 +229,49 @@ struct Scale {
     }
     return results;
 }
+
+/// Machine-readable bench output: when C2PI_BENCH_JSON=<path> is set,
+/// collected rows are written to <path> as {"bench": ..., "rows": [...]}
+/// at destruction. Each row is a flat name -> number map; the schema is
+/// deliberately tiny so CI can diff trajectories across PRs with jq.
+class BenchJsonWriter {
+public:
+    explicit BenchJsonWriter(std::string bench_name) : bench_(std::move(bench_name)) {
+        if (const char* p = std::getenv("C2PI_BENCH_JSON"); p != nullptr && p[0] != '\0')
+            path_ = p;
+    }
+
+    [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+    void add_row(const std::string& name,
+                 std::initializer_list<std::pair<const char*, double>> fields) {
+        if (!enabled()) return;
+        std::string row = "    {\"name\": \"" + name + "\"";
+        char buf[64];
+        for (const auto& [key, value] : fields) {
+            std::snprintf(buf, sizeof(buf), ", \"%s\": %.6g", key, value);
+            row += buf;
+        }
+        row += "}";
+        rows_.push_back(std::move(row));
+    }
+
+    ~BenchJsonWriter() {
+        if (!enabled() || rows_.empty()) return;
+        if (FILE* f = std::fopen(path_.c_str(), "w"); f != nullptr) {
+            std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench_.c_str());
+            for (std::size_t i = 0; i < rows_.size(); ++i)
+                std::fprintf(f, "%s%s\n", rows_[i].c_str(), i + 1 < rows_.size() ? "," : "");
+            std::fprintf(f, "  ]\n}\n");
+            std::fclose(f);
+        }
+    }
+
+private:
+    std::string bench_;
+    std::string path_;
+    std::vector<std::string> rows_;
+};
 
 inline void print_rule() {
     std::printf("--------------------------------------------------------------------------\n");

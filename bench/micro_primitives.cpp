@@ -1,14 +1,25 @@
 // Microbenchmarks (google-benchmark) for the cryptographic and numeric
 // substrates — not a paper artifact, but the per-primitive costs that
-// explain Table II: NTT, BFV ops, garbled-circuit ReLU, the OT millionaire
-// DReLU, IKNP throughput, and the float conv kernel.
+// explain Table II: NTT, BFV ops, the HE linear-layer server hot loops
+// (seed path vs compiled PlainNtt cache), garbled-circuit ReLU, the OT
+// millionaire DReLU, IKNP throughput, and the float conv kernel.
+//
+// Set C2PI_BENCH_JSON=<path> to also write the results as JSON
+// (google-benchmark's native format); C2PI_FAST=1 shrinks min-time for
+// smoke/CI runs.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "crypto/garbling.hpp"
 #include "crypto/hash.hpp"
 #include "crypto/ot.hpp"
 #include "he/bfv.hpp"
+#include "mpc/linear.hpp"
 #include "mpc/nonlinear.hpp"
 #include "net/runtime.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -32,6 +43,22 @@ void BM_NttForward(benchmark::State& state) {
                             static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096);
+
+void BM_NttInverse(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const he::u64 p = he::next_ntt_prime(1ULL << 49, 2 * n);
+    const he::NttTables tables(p, n);
+    Rng rng(2);
+    std::vector<he::u64> a(n);
+    for (auto& v : a) v = rng.next_u64() % p;
+    for (auto _ : state) {
+        tables.inverse(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NttInverse)->Arg(1024)->Arg(4096);
 
 void BM_BfvEncrypt(benchmark::State& state) {
     const he::BfvContext ctx({.n = static_cast<std::size_t>(state.range(0)), .limbs = 4});
@@ -60,6 +87,146 @@ void BM_BfvMultiplyPlainAccumulate(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_BfvMultiplyPlainAccumulate)->Arg(4096);
+
+void BM_BfvMultiplyPlainAccumulatePrecomputed(benchmark::State& state) {
+    // The compiled fast path: NTT-form weights with Shoup companions,
+    // built once. Compare against BM_BfvMultiplyPlainAccumulate.
+    const he::BfvContext ctx({.n = static_cast<std::size_t>(state.range(0)), .limbs = 4});
+    crypto::ChaCha20Prg prg(crypto::Block128{3, 4});
+    const auto sk = ctx.keygen(prg);
+    std::vector<Ring> plain(ctx.n(), 7), weight(ctx.n(), 3);
+    auto ct = ctx.encrypt(plain, sk, prg);
+    ctx.to_ntt(ct);
+    const he::PlainNtt w = ctx.to_plain_ntt(weight);
+    auto acc = ctx.make_accumulator();
+    for (auto _ : state) {
+        ctx.multiply_plain_accumulate(ct, w, acc);
+        benchmark::DoNotOptimize(acc.c0.limbs[0].data());
+    }
+}
+BENCHMARK(BM_BfvMultiplyPlainAccumulatePrecomputed)->Arg(4096);
+
+/// The server-side online hot loop of the HE conv protocol, per request:
+/// everything between "input ciphertexts are in NTT form" and "responses
+/// ready to ship". Arg 0 = seed path (per-channel weight encode + NTT +
+/// exact-arithmetic multiply, serial); arg 1 = compiled path (PlainNtt
+/// cache; the CompiledModel thread pool parallelizes channels/limbs).
+/// The per-request input receive/to_ntt is excluded: it is amortized
+/// over all output channels and identical in both arms.
+void BM_HeConvServerOnline(benchmark::State& state) {
+    const bool compiled = state.range(0) == 1;
+    const std::unique_ptr<core::ThreadPool> pool =
+        compiled && core::resolve_thread_count(0) > 1
+            ? std::make_unique<core::ThreadPool>(0)
+            : nullptr;
+    const he::BfvContext ctx({.n = 4096, .limbs = 4, .noise_bound = 4, .pool = pool.get()});
+    const he::ConvGeometry geo{.in_channels = 64,
+                               .height = 16,
+                               .width = 16,
+                               .out_channels = 8,
+                               .kernel = 3,
+                               .stride = 1,
+                               .pad = 1};
+    const he::ConvEncoder enc(ctx, geo);
+    Rng rng(21);
+    const FixedPointFormat fmt{.frac_bits = 16};
+    std::vector<Ring> w(static_cast<std::size_t>(geo.out_channels * geo.in_channels * geo.kernel *
+                                                 geo.kernel));
+    for (auto& v : w) v = fmt.encode(rng.uniform(-1.0F, 1.0F));
+    std::vector<Ring> x(static_cast<std::size_t>(geo.in_channels * geo.height * geo.width));
+    for (auto& v : x) v = fmt.encode(rng.uniform(-1.0F, 1.0F));
+
+    crypto::ChaCha20Prg prg(crypto::Block128{5, 6});
+    const auto sk = ctx.keygen(prg);
+    std::vector<he::Ciphertext> input_cts;
+    for (std::int64_t g = 0; g < enc.num_groups(); ++g) {
+        he::Ciphertext ct = ctx.encrypt(enc.encode_input_group(x, g), sk, prg);
+        ctx.to_ntt(ct);
+        input_cts.push_back(std::move(ct));
+    }
+    const std::int64_t out_pixels = geo.out_h() * geo.out_w();
+    std::vector<Ring> mask(static_cast<std::size_t>(out_pixels));
+    for (auto& v : mask) v = rng.next_u64();
+
+    const mpc::ConvLayerCache cache(ctx, geo, w, {});
+    for (auto _ : state) {
+        for (std::int64_t o = 0; o < geo.out_channels; ++o) {
+            he::Ciphertext acc;
+            if (compiled) {
+                ctx.multiply_plain(input_cts[0], cache.weight_ntt(0, o), acc);
+                for (std::int64_t g = 1; g < enc.num_groups(); ++g)
+                    ctx.multiply_plain_accumulate(input_cts[static_cast<std::size_t>(g)],
+                                                  cache.weight_ntt(g, o), acc);
+            } else {
+                acc = ctx.make_accumulator();
+                for (std::int64_t g = 0; g < enc.num_groups(); ++g)
+                    ctx.multiply_plain_accumulate(input_cts[static_cast<std::size_t>(g)],
+                                                  ctx.lift_to_ntt(enc.encode_weight(w, g, o)),
+                                                  acc);
+            }
+            ctx.from_ntt(acc);
+            if (compiled) {
+                ctx.add_plain_at(acc, cache.scatter_idx, mask);
+            } else {
+                ctx.add_plain_inplace(acc, enc.scatter_outputs(mask));
+            }
+            ctx.mod_switch_to_two_limbs(acc);
+            benchmark::DoNotOptimize(acc.c0.limbs[0].data());
+        }
+    }
+    state.counters["out_channels"] = static_cast<double>(geo.out_channels);
+    state.counters["groups"] = static_cast<double>(enc.num_groups());
+}
+// Arg 0 = seed path (online weight NTTs), arg 1 = compiled PlainNtt cache.
+BENCHMARK(BM_HeConvServerOnline)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Fully-connected counterpart: per-block weight multiply + response
+/// finalize (the input ciphertext is NTT'd once per request, outside).
+void BM_HeMatvecServerOnline(benchmark::State& state) {
+    const bool compiled = state.range(0) == 1;
+    const std::unique_ptr<core::ThreadPool> pool =
+        compiled && core::resolve_thread_count(0) > 1
+            ? std::make_unique<core::ThreadPool>(0)
+            : nullptr;
+    const he::BfvContext ctx({.n = 4096, .limbs = 4, .noise_bound = 4, .pool = pool.get()});
+    const std::int64_t in = 1024, out = 8;
+    const he::MatVecEncoder enc(ctx, in, out);
+    Rng rng(22);
+    const FixedPointFormat fmt{.frac_bits = 16};
+    std::vector<Ring> w(static_cast<std::size_t>(in * out));
+    for (auto& v : w) v = fmt.encode(rng.uniform(-1.0F, 1.0F));
+    std::vector<Ring> x(static_cast<std::size_t>(in));
+    for (auto& v : x) v = fmt.encode(rng.uniform(-1.0F, 1.0F));
+
+    crypto::ChaCha20Prg prg(crypto::Block128{7, 8});
+    const auto sk = ctx.keygen(prg);
+    he::Ciphertext input_ct = ctx.encrypt(enc.encode_input(x), sk, prg);
+    ctx.to_ntt(input_ct);
+    std::vector<Ring> mask(static_cast<std::size_t>(enc.outs_per_block()));
+    for (auto& v : mask) v = rng.next_u64();
+
+    const mpc::MatVecLayerCache cache(ctx, in, out, w, {});
+    for (auto _ : state) {
+        for (std::int64_t b = 0; b < enc.num_blocks(); ++b) {
+            he::Ciphertext acc;
+            if (compiled) {
+                ctx.multiply_plain(input_ct, cache.w_ntt[static_cast<std::size_t>(b)], acc);
+                ctx.from_ntt(acc);
+                ctx.add_plain_at(acc, cache.scatter_idx[static_cast<std::size_t>(b)], mask);
+            } else {
+                acc = ctx.make_accumulator();
+                ctx.multiply_plain_accumulate(input_ct,
+                                              ctx.lift_to_ntt(enc.encode_weight_block(w, b)), acc);
+                ctx.from_ntt(acc);
+                ctx.add_plain_inplace(acc, enc.scatter_outputs(mask, b));
+            }
+            ctx.mod_switch_to_two_limbs(acc);
+            benchmark::DoNotOptimize(acc.c0.limbs[0].data());
+        }
+    }
+    state.counters["blocks"] = static_cast<double>(enc.num_blocks());
+}
+BENCHMARK(BM_HeMatvecServerOnline)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_GarbleReluCircuit(benchmark::State& state) {
     const crypto::Circuit circuit = crypto::build_relu_circuit(64);
@@ -183,4 +350,27 @@ BENCHMARK(BM_CrHash);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: environment-driven knobs so the
+// CI perf-trajectory step needs no argument plumbing.
+//  * C2PI_BENCH_JSON=<path> — also write results as JSON to <path>;
+//  * C2PI_FAST=1            — cut per-benchmark min time for smoke runs.
+int main(int argc, char** argv) {
+    std::vector<char*> args(argv, argv + argc);
+    std::string out_flag, fmt_flag, fast_flag;
+    if (const char* path = std::getenv("C2PI_BENCH_JSON"); path != nullptr && path[0] != '\0') {
+        out_flag = std::string("--benchmark_out=") + path;
+        fmt_flag = "--benchmark_out_format=json";
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    if (const char* fast = std::getenv("C2PI_FAST"); fast != nullptr && fast[0] == '1') {
+        fast_flag = "--benchmark_min_time=0.01";
+        args.push_back(fast_flag.data());
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -37,7 +37,11 @@ int main(int argc, char** argv) {
     }
 
     const nn::Sequential model = demo::make_demo_model();
-    const pi::CompiledModel compiled(model, demo::demo_compile_options(opts.full_pi));
+    // Input-owner artifact: skip the server-side weight-NTT precompute —
+    // the client side of the protocol only uses encoder geometry.
+    auto compile_opts = demo::demo_compile_options(opts.full_pi);
+    compile_opts.server_precompute = false;
+    const pi::CompiledModel compiled(model, compile_opts);
     const pi::ClientSession session(compiled, opts.session);
 
     Rng input_rng(opts.input_seed);

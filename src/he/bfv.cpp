@@ -5,11 +5,24 @@
 namespace c2pi::he {
 
 namespace {
-/// Signed lift of a ring element into [0, p).
+/// Signed lift of a ring element into [0, p). The magnitude of a
+/// negative value is computed in unsigned arithmetic (u64{0} - v):
+/// negating INT64_MIN — a perfectly legal ring element, and a uniformly
+/// likely mask value — would be signed-overflow UB.
 u64 lift_signed(Ring v, u64 p) {
     const auto sv = static_cast<std::int64_t>(v);
     if (sv >= 0) return static_cast<u64>(sv) % p;
-    const u64 mag = static_cast<u64>(-sv) % p;
+    const u64 mag = (u64{0} - v) % p;
+    return mag == 0 ? 0 : p - mag;
+}
+
+/// Divisionless lift_signed (identical values) for the per-inference
+/// paths: add_plain folds a full mask polynomial per response, so the
+/// per-coefficient division shows up in the server's online wall time.
+u64 lift_signed_shoup(Ring v, u64 p, u64 one_shoup) {
+    const auto sv = static_cast<std::int64_t>(v);
+    if (sv >= 0) return reduce_mod_shoup(static_cast<u64>(sv), one_shoup, p);
+    const u64 mag = reduce_mod_shoup(u64{0} - v, one_shoup, p);
     return mag == 0 ? 0 : p - mag;
 }
 }  // namespace
@@ -57,12 +70,26 @@ BfvContext::BfvContext(Params params) : params_(params) {
         delta_mod_[i] = r;
     }
 
+    // Online-phase Shoup companions: every per-coefficient division in
+    // the response path (add_plain, mod switch) becomes a high-mul.
+    delta_shoup_.resize(primes_.size());
+    one_shoup_.resize(primes_.size());
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        delta_shoup_[i] = shoup_precompute(delta_mod_[i], primes_[i]);
+        one_shoup_[i] = reduce_precompute(primes_[i]);
+    }
+
     if (params_.limbs >= 4) {
         const u128 drop = static_cast<u128>(primes_[2]) * primes_[3];
         for (int i = 0; i < 2; ++i) {
             const u64 p = primes_[static_cast<std::size_t>(i)];
             drop_inv_mod_[i] = inv_mod(static_cast<u64>(drop % p), p);
+            drop_inv_shoup_[i] = shoup_precompute(drop_inv_mod_[i], p);
+            r64_mod_[i] = static_cast<u64>((static_cast<u128>(1) << 64) % p);
+            r64_shoup_[i] = shoup_precompute(r64_mod_[i], p);
         }
+        q3_inv_mod_q4_ = inv_mod(primes_[2] % primes_[3], primes_[3]);
+        q3_inv_shoup_ = shoup_precompute(q3_inv_mod_q4_, primes_[3]);
     }
 }
 
@@ -89,13 +116,21 @@ RnsPoly BfvContext::uniform_poly_from_seed(const crypto::Block128& seed, int lim
 
 void BfvContext::poly_ntt(RnsPoly& p) const {
     require(!p.ntt_form, "poly already in NTT form");
-    for (std::size_t i = 0; i < p.limbs.size(); ++i) ntt_[i].forward(p.limbs[i]);
+    core::parallel_for(params_.pool, 0, static_cast<std::int64_t>(p.limbs.size()),
+                       [&](std::int64_t i) {
+                           const auto u = static_cast<std::size_t>(i);
+                           ntt_[u].forward(p.limbs[u]);
+                       });
     p.ntt_form = true;
 }
 
 void BfvContext::poly_intt(RnsPoly& p) const {
     require(p.ntt_form, "poly not in NTT form");
-    for (std::size_t i = 0; i < p.limbs.size(); ++i) ntt_[i].inverse(p.limbs[i]);
+    core::parallel_for(params_.pool, 0, static_cast<std::int64_t>(p.limbs.size()),
+                       [&](std::int64_t i) {
+                           const auto u = static_cast<std::size_t>(i);
+                           ntt_[u].inverse(p.limbs[u]);
+                       });
     p.ntt_form = false;
 }
 
@@ -216,10 +251,26 @@ RnsPoly BfvContext::lift_to_ntt(std::span<const Ring> poly) const {
     return p;
 }
 
+PlainNtt BfvContext::to_plain_ntt(std::span<const Ring> poly) const {
+    const RnsPoly lifted = lift_to_ntt(poly);
+    PlainNtt out;
+    out.limbs = lifted.limbs;
+    out.shoup.resize(out.limbs.size());
+    for (std::size_t i = 0; i < out.limbs.size(); ++i) {
+        const u64 p = primes_[i];
+        out.shoup[i].resize(params_.n);
+        for (std::size_t j = 0; j < params_.n; ++j)
+            out.shoup[i][j] = shoup_precompute(out.limbs[i][j], p);
+    }
+    return out;
+}
+
 void BfvContext::to_ntt(Ciphertext& ct) const {
     require(!ct.ntt_form, "ciphertext already in NTT form");
-    poly_ntt(ct.c0);
-    poly_ntt(ct.c1);
+    // Polys already in NTT form pass through: a seed-expanded c1
+    // (expand_seed_poly_ntt) is sampled NTT-side and needs no transform.
+    if (!ct.c0.ntt_form) poly_ntt(ct.c0);
+    if (!ct.c1.ntt_form) poly_ntt(ct.c1);
     ct.ntt_form = true;
 }
 
@@ -230,10 +281,9 @@ void BfvContext::from_ntt(Ciphertext& ct) const {
     ct.ntt_form = false;
 }
 
-RnsPoly BfvContext::expand_seed_poly(const crypto::Block128& seed, int limbs) const {
+RnsPoly BfvContext::expand_seed_poly_ntt(const crypto::Block128& seed, int limbs) const {
     RnsPoly a = uniform_poly_from_seed(seed, limbs);
     a.ntt_form = true;  // sampled in the NTT domain by convention
-    poly_intt(a);
     return a;
 }
 
@@ -252,7 +302,9 @@ void BfvContext::multiply_plain_accumulate(const Ciphertext& ct_ntt, const RnsPo
     require(ct_ntt.ntt_form && acc.ntt_form && plain_ntt.ntt_form,
             "multiply_plain_accumulate expects NTT operands");
     require(ct_ntt.active_limbs() == params_.limbs, "operand must be at fresh modulus");
-    for (std::size_t i = 0; i < primes_.size(); ++i) {
+    core::parallel_for(params_.pool, 0, static_cast<std::int64_t>(primes_.size()),
+                       [&](std::int64_t limb) {
+        const auto i = static_cast<std::size_t>(limb);
         const u64 p = primes_[i];
         const auto& w = plain_ntt.limbs[i];
         for (std::size_t j = 0; j < params_.n; ++j) {
@@ -261,7 +313,52 @@ void BfvContext::multiply_plain_accumulate(const Ciphertext& ct_ntt, const RnsPo
             acc.c1.limbs[i][j] =
                 add_mod(acc.c1.limbs[i][j], mul_mod(ct_ntt.c1.limbs[i][j], w[j], p), p);
         }
-    }
+    });
+}
+
+void BfvContext::multiply_plain_accumulate(const Ciphertext& ct_ntt, const PlainNtt& plain_ntt,
+                                           Ciphertext& acc) const {
+    require(ct_ntt.ntt_form && acc.ntt_form, "multiply_plain_accumulate expects NTT operands");
+    require(ct_ntt.active_limbs() == params_.limbs, "operand must be at fresh modulus");
+    require(plain_ntt.active_limbs() == params_.limbs, "precomputed plain must be fresh-limb");
+    core::parallel_for(params_.pool, 0, static_cast<std::int64_t>(primes_.size()),
+                       [&](std::int64_t limb) {
+        const auto i = static_cast<std::size_t>(limb);
+        const u64 p = primes_[i];
+        const auto& w = plain_ntt.limbs[i];
+        const auto& ws = plain_ntt.shoup[i];
+        for (std::size_t j = 0; j < params_.n; ++j) {
+            acc.c0.limbs[i][j] =
+                add_mod(acc.c0.limbs[i][j], mul_mod_shoup(ct_ntt.c0.limbs[i][j], w[j], ws[j], p), p);
+            acc.c1.limbs[i][j] =
+                add_mod(acc.c1.limbs[i][j], mul_mod_shoup(ct_ntt.c1.limbs[i][j], w[j], ws[j], p), p);
+        }
+    });
+}
+
+void BfvContext::multiply_plain(const Ciphertext& ct_ntt, const PlainNtt& plain_ntt,
+                                Ciphertext& out) const {
+    require(ct_ntt.ntt_form, "multiply_plain expects an NTT operand");
+    require(ct_ntt.active_limbs() == params_.limbs, "operand must be at fresh modulus");
+    require(plain_ntt.active_limbs() == params_.limbs, "precomputed plain must be fresh-limb");
+    const auto limbs = static_cast<std::size_t>(params_.limbs);
+    out.c0.limbs.resize(limbs);
+    out.c1.limbs.resize(limbs);
+    core::parallel_for(params_.pool, 0, static_cast<std::int64_t>(limbs), [&](std::int64_t limb) {
+        const auto i = static_cast<std::size_t>(limb);
+        const u64 p = primes_[i];
+        const auto& w = plain_ntt.limbs[i];
+        const auto& ws = plain_ntt.shoup[i];
+        out.c0.limbs[i].resize(params_.n);
+        out.c1.limbs[i].resize(params_.n);
+        for (std::size_t j = 0; j < params_.n; ++j) {
+            out.c0.limbs[i][j] = mul_mod_shoup(ct_ntt.c0.limbs[i][j], w[j], ws[j], p);
+            out.c1.limbs[i][j] = mul_mod_shoup(ct_ntt.c1.limbs[i][j], w[j], ws[j], p);
+        }
+    });
+    out.c0.ntt_form = out.c1.ntt_form = true;
+    out.ntt_form = true;
+    out.seed_compressed = false;
 }
 
 void BfvContext::add_plain_inplace(Ciphertext& ct, std::span<const Ring> plain) const {
@@ -271,9 +368,37 @@ void BfvContext::add_plain_inplace(Ciphertext& ct, std::span<const Ring> plain) 
     require(plain.size() <= params_.n, "plain poly longer than ring degree");
     for (std::size_t i = 0; i < primes_.size(); ++i) {
         const u64 p = primes_[i];
+        const u64 one_shoup = one_shoup_[i];
+        const u64 delta = delta_mod_[i];
+        const u64 delta_shoup = delta_shoup_[i];
         for (std::size_t j = 0; j < plain.size(); ++j) {
+            const u64 m = lift_signed_shoup(plain[j], p, one_shoup);
             ct.c0.limbs[i][j] =
-                add_mod(ct.c0.limbs[i][j], mul_mod(delta_mod_[i], lift_signed(plain[j], p), p), p);
+                add_mod(ct.c0.limbs[i][j], mul_mod_shoup(m, delta, delta_shoup, p), p);
+        }
+    }
+    ct.seed_compressed = false;
+}
+
+void BfvContext::add_plain_at(Ciphertext& ct, std::span<const std::int64_t> positions,
+                              std::span<const Ring> values) const {
+    require(!ct.ntt_form, "add_plain expects coefficient form");
+    require(ct.active_limbs() == params_.limbs,
+            "add_plain only supported at the fresh modulus (see DESIGN.md §6)");
+    require(positions.size() == values.size(), "add_plain_at positions/values mismatch");
+    for (const std::int64_t pos : positions)
+        require(pos >= 0 && static_cast<std::size_t>(pos) < params_.n,
+                "add_plain_at position out of range");
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        const u64 p = primes_[i];
+        const u64 one_shoup = one_shoup_[i];
+        const u64 delta = delta_mod_[i];
+        const u64 delta_shoup = delta_shoup_[i];
+        auto& c0 = ct.c0.limbs[i];
+        for (std::size_t k = 0; k < positions.size(); ++k) {
+            const auto j = static_cast<std::size_t>(positions[k]);
+            const u64 m = lift_signed_shoup(values[k], p, one_shoup);
+            c0[j] = add_mod(c0[j], mul_mod_shoup(m, delta, delta_shoup, p), p);
         }
     }
     ct.seed_compressed = false;
@@ -283,21 +408,28 @@ void BfvContext::mod_switch_to_two_limbs(Ciphertext& ct) const {
     require(!ct.ntt_form, "mod switch expects coefficient form");
     require(ct.active_limbs() == 4, "mod switch implemented for 4 -> 2 limbs");
     const u64 q3 = primes_[2], q4 = primes_[3];
-    const u64 q3_inv_mod_q4 = inv_mod(q3 % q4, q4);
+    const u64 one_shoup_q4 = one_shoup_[3];
 
     for (RnsPoly* poly : {&ct.c0, &ct.c1}) {
         for (std::size_t j = 0; j < params_.n; ++j) {
             const u64 c3 = poly->limbs[2][j];
             const u64 c4 = poly->limbs[3][j];
             // CRT compose the dropped part: v = c3 + q3 * ((c4 - c3) q3^{-1} mod q4).
-            const u64 w = mul_mod(sub_mod(c4 % q4, c3 % q4, q4), q3_inv_mod_q4, q4);
+            const u64 w = mul_mod_shoup(sub_mod(reduce_mod_shoup(c4, one_shoup_q4, q4),
+                                                reduce_mod_shoup(c3, one_shoup_q4, q4), q4),
+                                        q3_inv_mod_q4_, q3_inv_shoup_, q4);
             const u128 v = static_cast<u128>(c3) + static_cast<u128>(q3) * w;
+            // v mod p via the split v = hi·2^64 + lo (hi < 2^34), with
+            // precomputed 2^64 mod p — no 128-bit division on this path.
+            const u64 hi = static_cast<u64>(v >> 64);
+            const u64 lo = static_cast<u64>(v);
             for (int i = 0; i < 2; ++i) {
-                const u64 p = primes_[static_cast<std::size_t>(i)];
-                const u64 v_mod = static_cast<u64>(v % p);
-                poly->limbs[static_cast<std::size_t>(i)][j] =
-                    mul_mod(sub_mod(poly->limbs[static_cast<std::size_t>(i)][j], v_mod, p),
-                            drop_inv_mod_[i], p);
+                const auto ui = static_cast<std::size_t>(i);
+                const u64 p = primes_[ui];
+                const u64 v_mod = add_mod(mul_mod_shoup(hi, r64_mod_[i], r64_shoup_[i], p),
+                                          reduce_mod_shoup(lo, one_shoup_[ui], p), p);
+                poly->limbs[ui][j] = mul_mod_shoup(sub_mod(poly->limbs[ui][j], v_mod, p),
+                                                   drop_inv_mod_[i], drop_inv_shoup_[i], p);
             }
         }
         poly->limbs.resize(2);

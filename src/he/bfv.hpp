@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/fixed_point.hpp"
+#include "core/thread_pool.hpp"
 #include "crypto/chacha20.hpp"
 #include "he/ntt.hpp"
 
@@ -28,6 +29,18 @@ namespace c2pi::he {
 struct RnsPoly {
     std::vector<std::vector<u64>> limbs;
     bool ntt_form = false;
+
+    [[nodiscard]] int active_limbs() const { return static_cast<int>(limbs.size()); }
+};
+
+/// NTT-form plaintext with per-coefficient Shoup companions — the
+/// compile-time shape of a server weight polynomial. Built once by
+/// BfvContext::to_plain_ntt; the multiply_plain_accumulate fast path then
+/// replaces every 128-bit modular division with a Shoup high-mul.
+/// Numerically identical to multiplying the plain RnsPoly.
+struct PlainNtt {
+    std::vector<std::vector<u64>> limbs;  ///< NTT-form values, [limb][coeff]
+    std::vector<std::vector<u64>> shoup;  ///< floor(w * 2^64 / q_i), same layout
 
     [[nodiscard]] int active_limbs() const { return static_cast<int>(limbs.size()); }
 };
@@ -51,6 +64,10 @@ public:
         std::size_t n = 4096;   ///< ring degree (power of two)
         int limbs = 4;          ///< RNS primes in the fresh modulus
         int noise_bound = 4;    ///< uniform noise in [-noise_bound, noise_bound]
+        /// Borrowed pool for the per-limb loops (poly_ntt/poly_intt/
+        /// multiply_plain_accumulate); must outlive the context. Null =
+        /// serial, identical schedule to the pre-pool code.
+        const core::ThreadPool* pool = nullptr;
     };
 
     explicit BfvContext(Params params);
@@ -58,6 +75,7 @@ public:
     [[nodiscard]] std::size_t n() const { return params_.n; }
     [[nodiscard]] int fresh_limbs() const { return params_.limbs; }
     [[nodiscard]] u64 prime(int i) const { return primes_[static_cast<std::size_t>(i)]; }
+    [[nodiscard]] const core::ThreadPool* thread_pool() const { return params_.pool; }
 
     // -- keys & encryption ----------------------------------------------------
     [[nodiscard]] SecretKey keygen(crypto::ChaCha20Prg& prg) const;
@@ -76,6 +94,12 @@ public:
     /// to NTT form over the fresh modulus — used for weight plaintexts.
     [[nodiscard]] RnsPoly lift_to_ntt(std::span<const Ring> poly) const;
 
+    /// Compile-time form of lift_to_ntt: also precomputes the per-
+    /// coefficient Shoup companions so the online multiply needs no
+    /// 128-bit division. One PlainNtt per (weight poly) is built once in
+    /// CompiledModel and reused by every inference.
+    [[nodiscard]] PlainNtt to_plain_ntt(std::span<const Ring> poly) const;
+
     void to_ntt(Ciphertext& ct) const;
     void from_ntt(Ciphertext& ct) const;
 
@@ -84,17 +108,36 @@ public:
     /// acc += ct * plain_ntt (all operands NTT form, fresh limbs).
     void multiply_plain_accumulate(const Ciphertext& ct_ntt, const RnsPoly& plain_ntt,
                                    Ciphertext& acc) const;
+    /// Fast path over a precomputed PlainNtt; bit-identical accumulator.
+    void multiply_plain_accumulate(const Ciphertext& ct_ntt, const PlainNtt& plain_ntt,
+                                   Ciphertext& acc) const;
+    /// out = ct * plain (assign variant: allocates/overwrites `out`, no
+    /// zero accumulator needed). Equals make_accumulator() followed by
+    /// multiply_plain_accumulate, minus the zero-fill and adds.
+    void multiply_plain(const Ciphertext& ct_ntt, const PlainNtt& plain_ntt,
+                        Ciphertext& out) const;
 
     /// c0 += Δ * plain   (coefficient form). Used by the server to fold
     /// its own plaintext contribution / fresh share mask into a response.
     void add_plain_inplace(Ciphertext& ct, std::span<const Ring> plain) const;
 
+    /// Sparse add_plain: c0[positions[i]] += Δ * values[i]. Identical to
+    /// add_plain_inplace over the scatter polynomial (zero everywhere
+    /// else), but touches only the populated coefficients — the response
+    /// masks of the linear layers live at a few known output positions.
+    void add_plain_at(Ciphertext& ct, std::span<const std::int64_t> positions,
+                      std::span<const Ring> values) const;
+
     /// Drop to the first two limbs with rounding (response compression).
     void mod_switch_to_two_limbs(Ciphertext& ct) const;
 
-    /// Re-derive the c1 polynomial of a seed-compressed ciphertext
-    /// (coefficient form), exactly as encrypt() produced it.
-    [[nodiscard]] RnsPoly expand_seed_poly(const crypto::Block128& seed, int limbs) const;
+    /// Re-derive the c1 polynomial of a seed-compressed ciphertext,
+    /// exactly as encrypt() sampled it: uniform in the NTT domain, left
+    /// there. A receiver that immediately to_ntt()s the ciphertext skips
+    /// the inverse+forward round-trip entirely (to_ntt transforms only
+    /// polys still in coefficient form); one that needs coefficients
+    /// runs poly_intt, reproducing the historical coefficient expansion.
+    [[nodiscard]] RnsPoly expand_seed_poly_ntt(const crypto::Block128& seed, int limbs) const;
 
     // -- traffic accounting -------------------------------------------------------
     /// Serialized size: per-limb 8 bytes per coefficient per polynomial;
@@ -114,8 +157,15 @@ private:
     std::vector<u64> primes_;
     std::vector<NttTables> ntt_;
     std::vector<u64> delta_mod_;          ///< Δ mod q_i (fresh modulus)
+    std::vector<u64> delta_shoup_;        ///< Shoup companions of Δ mod q_i
+    std::vector<u64> one_shoup_;          ///< floor(2^64 / q_i) for divisionless a mod q_i
     std::vector<u64> delta2_mod_;         ///< Δ' = floor(q1q2 / t) mod q_i, i<2
     u64 drop_inv_mod_[2] = {};            ///< (q3 q4)^{-1} mod q_i for the switch
+    u64 drop_inv_shoup_[2] = {};
+    u64 r64_mod_[2] = {};                 ///< 2^64 mod q_i (CRT-compose reduction)
+    u64 r64_shoup_[2] = {};
+    u64 q3_inv_mod_q4_ = 0;               ///< q3^{-1} mod q4, hoisted out of mod switch
+    u64 q3_inv_shoup_ = 0;
 };
 
 }  // namespace c2pi::he

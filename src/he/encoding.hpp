@@ -80,6 +80,8 @@ class MatVecEncoder {
 public:
     MatVecEncoder(const BfvContext& ctx, std::int64_t in_features, std::int64_t out_features);
 
+    [[nodiscard]] std::int64_t in_features() const { return in_; }
+    [[nodiscard]] std::int64_t out_features() const { return out_; }
     [[nodiscard]] std::int64_t outs_per_block() const { return outs_per_block_; }
     [[nodiscard]] std::int64_t num_blocks() const { return num_blocks_; }
 

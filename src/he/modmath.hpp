@@ -38,6 +38,28 @@ using i128 = __int128;
     return r >= p ? r - p : r;
 }
 
+/// Lazy Shoup multiplication: result in [0, 2p) without the final
+/// conditional subtraction. Valid for ANY a < 2^64 (not just a < p):
+/// with w_shoup = floor(w 2^64 / p) the error term is a·e/2^64 + p·f/2^64
+/// < 2p for e < p, f < 2^64 (Harvey 2014). Callers chain these across
+/// butterfly stages, reducing once at the end.
+[[nodiscard]] inline u64 mul_mod_shoup_lazy(u64 a, u64 w, u64 w_shoup, u64 p) {
+    const u64 q = static_cast<u64>((static_cast<u128>(a) * w_shoup) >> 64);
+    return a * w - q * p;
+}
+
+/// Precompute for reduce_mod_shoup: floor(2^64 / p) (Shoup constant of
+/// w = 1).
+[[nodiscard]] inline u64 reduce_precompute(u64 p) { return shoup_precompute(1, p); }
+
+/// a mod p for arbitrary a < 2^64, one high-mul instead of a division
+/// (Shoup multiplication by 1).
+[[nodiscard]] inline u64 reduce_mod_shoup(u64 a, u64 one_shoup, u64 p) {
+    const u64 q = static_cast<u64>((static_cast<u128>(a) * one_shoup) >> 64);
+    const u64 r = a - q * p;  // in [0, 2p)
+    return r >= p ? r - p : r;
+}
+
 [[nodiscard]] inline u64 pow_mod(u64 base, u64 exp, u64 p) {
     u64 result = 1;
     base %= p;

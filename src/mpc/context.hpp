@@ -67,6 +67,16 @@ public:
         return *client_key_;
     }
 
+    /// Per-session scratch payload buffers for ciphertext (de)serialization:
+    /// the HE linear layers move many same-sized multi-megabyte messages,
+    /// so the send path stages payloads here (one allocation per session)
+    /// and the recv path hands this buffer to Transport::recv_bytes_into
+    /// (TcpTransport refills it in place; the in-process queue hands over
+    /// its own message vector, which is already allocation-optimal for a
+    /// by-value handoff). Only the session's protocol thread may touch them.
+    [[nodiscard]] std::vector<std::uint8_t>& send_scratch() { return send_scratch_; }
+    [[nodiscard]] std::vector<std::uint8_t>& recv_scratch() { return recv_scratch_; }
+
 private:
     net::Transport* transport_;
     FixedPointFormat fmt_;
@@ -75,6 +85,7 @@ private:
     std::optional<crypto::IknpSender> ot_sender_;
     std::optional<crypto::IknpReceiver> ot_receiver_;
     std::optional<he::SecretKey> client_key_;
+    std::vector<std::uint8_t> send_scratch_, recv_scratch_;
 };
 
 }  // namespace c2pi::mpc

@@ -183,6 +183,12 @@ void TcpTransport::send_bytes(std::span<const std::uint8_t> data) {
 }
 
 std::vector<std::uint8_t> TcpTransport::recv_bytes() {
+    std::vector<std::uint8_t> payload;
+    recv_bytes_into(payload);
+    return payload;
+}
+
+void TcpTransport::recv_bytes_into(std::vector<std::uint8_t>& out) {
     require(is_open(), "tcp recv: transport is closed");
     require(!peer_shutdown_, "tcp recv: peer already ended the session");
     std::uint8_t header[kFrameHeaderSize];
@@ -200,12 +206,11 @@ std::vector<std::uint8_t> TcpTransport::recv_bytes() {
     require(header[5] < kNumPhases, "tcp recv: bad phase tag");
     const auto phase = static_cast<Phase>(header[5]);
 
-    std::vector<std::uint8_t> payload(len);
-    if (len > 0 && !read_all(fd_, payload.data(), len))
+    out.resize(len);
+    if (len > 0 && !read_all(fd_, out.data(), len))
         fail("tcp recv: connection closed mid-frame");
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.record(1 - party_, phase, len);
-    return payload;
 }
 
 ChannelStats TcpTransport::stats() const {

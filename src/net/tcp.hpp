@@ -59,6 +59,9 @@ public:
 
     void send_bytes(std::span<const std::uint8_t> data) override;
     [[nodiscard]] std::vector<std::uint8_t> recv_bytes() override;
+    /// Frame payload is read straight into `out` (resized, capacity
+    /// reused) — no per-message allocation once the buffer has grown.
+    void recv_bytes_into(std::vector<std::uint8_t>& out) override;
     [[nodiscard]] ChannelStats stats() const override;
 
     /// Abort a `recv_bytes` blocked longer than this (0 restores

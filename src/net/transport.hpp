@@ -99,6 +99,12 @@ public:
     virtual void send_bytes(std::span<const std::uint8_t> data) = 0;
     /// Block until the peer's next message arrives and return it.
     [[nodiscard]] virtual std::vector<std::uint8_t> recv_bytes() = 0;
+    /// Receive one message into a caller-owned buffer, reusing its
+    /// capacity where the implementation can (TcpTransport reads the
+    /// frame payload straight into it). Protocols that receive many
+    /// same-sized messages (HE ciphertexts) pass a per-session scratch
+    /// buffer to amortize the allocation.
+    virtual void recv_bytes_into(std::vector<std::uint8_t>& out) { out = recv_bytes(); }
     /// Snapshot of this connection's traffic accounting.
     [[nodiscard]] virtual ChannelStats stats() const = 0;
 

@@ -17,6 +17,8 @@ CompiledModel::Options validate(const nn::Sequential& model, CompiledModel::Opti
     require(options.he_ring_degree > 0 &&
                 (options.he_ring_degree & (options.he_ring_degree - 1)) == 0,
             "he_ring_degree must be a power of two");
+    require(options.num_threads >= 0 && options.num_threads <= 1024,
+            "num_threads must lie in [0, 1024] (0 = auto)");
     require(model.num_linear_ops() > 0, "model has no linear ops to compile");
     if (options.boundary.has_value()) {
         require(options.boundary->linear_index >= 1, "boundary linear_index must be >= 1");
@@ -26,6 +28,14 @@ CompiledModel::Options validate(const nn::Sequential& model, CompiledModel::Opti
         (void)model.flat_cut_index(*options.boundary);
     }
     return options;
+}
+
+/// A one-thread pool is pure overhead: leave it null so every loop runs
+/// the plain serial code path.
+std::unique_ptr<core::ThreadPool> make_pool(int num_threads) {
+    const int resolved = core::resolve_thread_count(num_threads);
+    if (resolved <= 1) return nullptr;
+    return std::make_unique<core::ThreadPool>(resolved);
 }
 
 }  // namespace
@@ -40,7 +50,13 @@ CompiledModel::CompiledModel(const nn::Sequential& model, Options options)
       full_pi_(crypto_end_ >= model.size() || cut_.linear_index == num_linear_ops_),
       plan_(plan_layers(model, options_.input_chw, crypto_end_)),
       server_data_(extract_server_data(model, crypto_end_, options_.fmt)),
-      bfv_(he::BfvContext::Params{.n = options_.he_ring_degree, .limbs = 4, .noise_bound = 4}) {}
+      pool_(make_pool(options_.num_threads)),
+      bfv_(he::BfvContext::Params{
+          .n = options_.he_ring_degree, .limbs = 4, .noise_bound = 4, .pool = pool_.get()}),
+      layer_caches_(precompute_layer_caches(plan_, server_data_, bfv_,
+                                            options_.server_precompute)) {}
+
+int CompiledModel::num_threads() const { return pool_ == nullptr ? 1 : pool_->num_threads(); }
 
 Shape CompiledModel::batched_boundary_shape(std::int64_t batch) const {
     Shape s{batch};

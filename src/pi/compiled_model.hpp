@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "he/bfv.hpp"
@@ -74,6 +75,17 @@ public:
         std::optional<nn::CutPoint> boundary;
         FixedPointFormat fmt{.frac_bits = 16};
         std::size_t he_ring_degree = 4096;
+        /// Threads for the HE hot loops (per-output-channel responses,
+        /// RNS limb transforms) of every session served from this
+        /// artifact. 0 = auto: env C2PI_THREADS if set, else
+        /// hardware_concurrency. 1 = the exact serial seed schedule.
+        /// Any value produces bit-identical transcripts and logits.
+        int num_threads = 0;
+        /// Build the server-side weight-plaintext cache (NTT form +
+        /// Shoup companions). A pure input-owner process sets this false
+        /// to skip the weight NTTs and their memory — ClientSession only
+        /// uses encoder geometry; ServerSession then throws.
+        bool server_precompute = true;
     };
 
     /// Compiles the model. The model is borrowed const and must outlive
@@ -94,6 +106,11 @@ public:
     [[nodiscard]] const std::vector<LayerPlan>& plan() const { return plan_; }
     /// Ring-encoded weights/biases for the crypto layers (server secret).
     [[nodiscard]] const std::vector<ServerLayerData>& server_data() const { return server_data_; }
+    /// Per-layer HE precompute: encoders + NTT-form weight plaintexts.
+    /// Sessions serve straight from this — no weight NTT runs online.
+    [[nodiscard]] const std::vector<LayerCache>& layer_caches() const { return layer_caches_; }
+    /// Resolved thread count (Options::num_threads after auto-detection).
+    [[nodiscard]] int num_threads() const;
 
     /// One-past-the-end flat layer index of the crypto prefix.
     [[nodiscard]] std::size_t crypto_end() const { return crypto_end_; }
@@ -131,7 +148,9 @@ private:
     bool full_pi_ = false;
     std::vector<LayerPlan> plan_;
     std::vector<ServerLayerData> server_data_;
-    he::BfvContext bfv_;
+    std::unique_ptr<core::ThreadPool> pool_;  ///< null when serving serially
+    he::BfvContext bfv_;                      ///< borrows pool_
+    std::vector<LayerCache> layer_caches_;    ///< borrows server_data_ + bfv_
     mutable std::atomic<std::uint64_t> tail_passes_{0};
 };
 

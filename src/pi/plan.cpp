@@ -110,4 +110,23 @@ std::vector<ServerLayerData> extract_server_data(const nn::Sequential& model, st
     return data;
 }
 
+std::vector<LayerCache> precompute_layer_caches(const std::vector<LayerPlan>& plan,
+                                                const std::vector<ServerLayerData>& data,
+                                                const he::BfvContext& bfv, bool server_weights) {
+    require(plan.size() == data.size(), "plan/server-data length mismatch");
+    std::vector<LayerCache> caches(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const LayerPlan& p = plan[i];
+        if (p.op == PlanOp::kConv) {
+            caches[i].conv = std::make_unique<mpc::ConvLayerCache>(
+                bfv, p.geo, data[i].weights, data[i].bias2f, server_weights);
+        } else if (p.op == PlanOp::kLinear) {
+            caches[i].matvec = std::make_unique<mpc::MatVecLayerCache>(
+                bfv, p.in_features, p.out_features, data[i].weights, data[i].bias2f,
+                server_weights);
+        }
+    }
+    return caches;
+}
+
 }  // namespace c2pi::pi

@@ -4,9 +4,14 @@
 /// Backend-agnostic execution plan for the crypto layers. The plan holds
 /// only architecture/geometry (what the paper allows the client to learn
 /// about the crypto layers); weights stay inside ServerModelData, which
-/// only the server thread reads.
+/// only the server thread reads. The per-layer HE precompute (encoder
+/// geometry + NTT-form weight plaintexts) sits next to it in LayerCache,
+/// built once per CompiledModel so serving never re-runs a weight NTT.
+
+#include <memory>
 
 #include "he/encoding.hpp"
+#include "mpc/linear.hpp"
 #include "mpc/ring_tensor.hpp"
 #include "nn/sequential.hpp"
 
@@ -31,6 +36,15 @@ struct ServerLayerData {
     std::vector<Ring> bias2f;   ///< bias at scale 2f (empty if no bias)
 };
 
+/// Per-layer input-independent HE precompute: exactly one of the members
+/// is set for kConv/kLinear plan entries, both are null otherwise. The
+/// caches borrow the ServerLayerData weight spans, so the two vectors
+/// live (and die) together inside CompiledModel.
+struct LayerCache {
+    std::unique_ptr<mpc::ConvLayerCache> conv;
+    std::unique_ptr<mpc::MatVecLayerCache> matvec;
+};
+
 /// Plan flat layers [0, end) of the model for an input of shape [C,H,W].
 [[nodiscard]] std::vector<LayerPlan> plan_layers(const nn::Sequential& model, const Shape& input_chw,
                                                  std::size_t end);
@@ -40,5 +54,15 @@ struct ServerLayerData {
 [[nodiscard]] std::vector<ServerLayerData> extract_server_data(const nn::Sequential& model,
                                                                std::size_t end,
                                                                const FixedPointFormat& fmt);
+
+/// Build the HE precompute for every crypto layer: encoder geometry and
+/// the NTT-form (Shoup-companioned) weight plaintexts. `data` must
+/// outlive the returned caches. Runs the weight NTTs over the context's
+/// thread pool when it has one. `server_weights = false` builds the
+/// client-side subset (geometry only — no weight NTTs, no PlainNtt
+/// memory; serving a ServerSession from such an artifact throws).
+[[nodiscard]] std::vector<LayerCache> precompute_layer_caches(
+    const std::vector<LayerPlan>& plan, const std::vector<ServerLayerData>& data,
+    const he::BfvContext& bfv, bool server_weights = true);
 
 }  // namespace c2pi::pi

@@ -36,12 +36,14 @@ std::vector<Ring> local_avgpool(std::span<const Ring> x, const LayerPlan& p,
 
 struct PartyRun {
     const std::vector<LayerPlan>& plan;
-    const std::vector<ServerLayerData>* server_data;  // server only
+    const std::vector<LayerCache>& caches;  ///< compile-time HE precompute
     PiBackend backend;
     const FixedPointFormat& fmt;
 
     /// Walk the crypto layers; `share` is this party's share of the
-    /// current activation. Sets phase per backend convention.
+    /// current activation. Sets phase per backend convention. The server
+    /// serves straight from the compiled caches (no weight encode/NTT
+    /// online); the client reuses their encoder geometry.
     std::vector<Ring> execute(mpc::PartyContext& ctx, std::vector<Ring> share) const {
         for (std::size_t i = 0; i < plan.size(); ++i) {
             const LayerPlan& p = plan[i];
@@ -49,11 +51,11 @@ struct PartyRun {
             switch (p.op) {
                 case PlanOp::kConv: {
                     if (offline_linear) ctx.transport().set_phase(net::Phase::kOffline);
+                    const mpc::ConvLayerCache& cache = *caches[i].conv;
                     if (ctx.is_server()) {
-                        const auto& data = (*server_data)[i];
-                        share = mpc::he_conv_server(ctx, p.geo, data.weights, data.bias2f, share);
+                        share = mpc::he_conv_server(ctx, cache, share);
                     } else {
-                        share = mpc::he_conv_client(ctx, p.geo, share);
+                        share = mpc::he_conv_client(ctx, cache.enc, share);
                     }
                     ctx.transport().set_phase(net::Phase::kOnline);
                     for (auto& v : share)
@@ -62,12 +64,11 @@ struct PartyRun {
                 }
                 case PlanOp::kLinear: {
                     if (offline_linear) ctx.transport().set_phase(net::Phase::kOffline);
+                    const mpc::MatVecLayerCache& cache = *caches[i].matvec;
                     if (ctx.is_server()) {
-                        const auto& data = (*server_data)[i];
-                        share = mpc::he_matvec_server(ctx, p.in_features, p.out_features,
-                                                      data.weights, data.bias2f, share);
+                        share = mpc::he_matvec_server(ctx, cache, share);
                     } else {
-                        share = mpc::he_matvec_client(ctx, p.in_features, p.out_features, share);
+                        share = mpc::he_matvec_client(ctx, cache.enc, share);
                     }
                     ctx.transport().set_phase(net::Phase::kOnline);
                     for (auto& v : share)
@@ -114,7 +115,7 @@ void ServerSession::run(net::Transport& transport, const TailFn& tail) const {
     transport.set_phase(net::Phase::kOnline);
 
     std::vector<Ring> share(static_cast<std::size_t>(shape_numel(cm.input_shape())), 0);
-    const PartyRun runner{cm.plan(), &cm.server_data(), config_.backend, cm.fmt()};
+    const PartyRun runner{cm.plan(), cm.layer_caches(), config_.backend, cm.fmt()};
     share = runner.execute(ctx, std::move(share));
 
     if (cm.full_pi()) {
@@ -155,7 +156,7 @@ Tensor ClientSession::run(net::Transport& transport, const Tensor& input) const 
     std::vector<Ring> share(static_cast<std::size_t>(input.numel()));
     for (std::size_t i = 0; i < share.size(); ++i)
         share[i] = cm.fmt().encode(input[static_cast<std::int64_t>(i)]);
-    const PartyRun runner{cm.plan(), nullptr, config_.backend, cm.fmt()};
+    const PartyRun runner{cm.plan(), cm.layer_caches(), config_.backend, cm.fmt()};
     share = runner.execute(ctx, std::move(share));
 
     Tensor logits;

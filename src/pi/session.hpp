@@ -44,8 +44,15 @@ public:
     /// one plaintext pass.
     using TailFn = std::function<Tensor(const Tensor&)>;
 
+    /// Throws up front if the artifact was compiled without the server
+    /// weight precompute (a client-only artifact, server_precompute =
+    /// false): better here than mid-protocol with a peer connected.
     ServerSession(const CompiledModel& model, SessionConfig config)
-        : model_(&model), config_(config) {}
+        : model_(&model), config_(config) {
+        require(model.options().server_precompute,
+                "ServerSession needs an artifact compiled with server_precompute "
+                "(this one is client-only)");
+    }
 
     /// Serve one inference over the transport; the clear tail (if any)
     /// runs inline as a single-request batch.

@@ -84,6 +84,116 @@ TEST_P(NttSizeTest, ForwardInverseRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, NttSizeTest, ::testing::Values(16, 64, 256, 1024, 4096));
 
+/// The seed's exact-reduction NTT, reimplemented as a reference: every
+/// butterfly fully reduces mod p. The production NttTables switched to
+/// Harvey-style lazy reduction (coefficients < 4p, one closing pass), so
+/// this property test pins the lazy path to the exact one bit-for-bit.
+struct ReferenceNtt {
+    u64 p;
+    std::size_t n;
+    std::vector<u64> psi_rev, ipsi_rev;
+    u64 n_inv;
+
+    ReferenceNtt(u64 prime, std::size_t size) : p(prime), n(size) {
+        int log_n = 0;
+        while ((std::size_t{1} << log_n) < n) ++log_n;
+        const u64 psi = find_primitive_root(p, 2 * static_cast<u64>(n));
+        const u64 ipsi = inv_mod(psi, p);
+        std::vector<u64> psi_powers(n), ipsi_powers(n);
+        u64 power = 1, ipower = 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            psi_powers[i] = power;
+            ipsi_powers[i] = ipower;
+            power = mul_mod(power, psi, p);
+            ipower = mul_mod(ipower, ipsi, p);
+        }
+        const auto bit_reverse = [log_n](std::size_t x) {
+            std::size_t r = 0;
+            for (int b = 0; b < log_n; ++b) {
+                r = (r << 1) | (x & 1U);
+                x >>= 1;
+            }
+            return r;
+        };
+        psi_rev.resize(n);
+        ipsi_rev.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            psi_rev[i] = psi_powers[bit_reverse(i)];
+            ipsi_rev[i] = ipsi_powers[bit_reverse(i)];
+        }
+        n_inv = inv_mod(static_cast<u64>(n), p);
+    }
+
+    void forward(std::vector<u64>& a) const {
+        std::size_t t = n;
+        for (std::size_t m = 1; m < n; m <<= 1) {
+            t >>= 1;
+            for (std::size_t i = 0; i < m; ++i) {
+                const std::size_t j1 = 2 * i * t;
+                const u64 s = psi_rev[m + i];
+                for (std::size_t j = j1; j < j1 + t; ++j) {
+                    const u64 u = a[j];
+                    const u64 v = mul_mod(a[j + t], s, p);
+                    a[j] = add_mod(u, v, p);
+                    a[j + t] = sub_mod(u, v, p);
+                }
+            }
+        }
+    }
+
+    void inverse(std::vector<u64>& a) const {
+        std::size_t t = 1;
+        for (std::size_t m = n; m > 1; m >>= 1) {
+            std::size_t j1 = 0;
+            const std::size_t h = m >> 1;
+            for (std::size_t i = 0; i < h; ++i) {
+                const u64 s = ipsi_rev[h + i];
+                for (std::size_t j = j1; j < j1 + t; ++j) {
+                    const u64 u = a[j];
+                    const u64 v = a[j + t];
+                    a[j] = add_mod(u, v, p);
+                    a[j + t] = mul_mod(sub_mod(u, v, p), s, p);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+        }
+        for (auto& coeff : a) coeff = mul_mod(coeff, n_inv, p);
+    }
+};
+
+class NttLazyReductionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NttLazyReductionTest, MatchesExactReductionReference) {
+    const std::size_t n = GetParam();
+    const u64 p = next_ntt_prime(1ULL << 49, 2 * n);
+    const NttTables lazy(p, n);
+    const ReferenceNtt exact(p, n);
+    c2pi::Rng rng(17 + n);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<u64> a(n);
+        for (auto& v : a) v = rng.next_u64() % p;
+        // Edge coefficients: 0 and p-1 stress the lazy bounds.
+        a[0] = 0;
+        a[n - 1] = p - 1;
+
+        auto lazy_fwd = a, exact_fwd = a;
+        lazy.forward(lazy_fwd);
+        exact.forward(exact_fwd);
+        ASSERT_EQ(lazy_fwd, exact_fwd) << "forward diverged, trial " << trial;
+        for (const u64 v : lazy_fwd) ASSERT_LT(v, p) << "forward output not fully reduced";
+
+        auto lazy_inv = lazy_fwd, exact_inv = exact_fwd;
+        lazy.inverse(lazy_inv);
+        exact.inverse(exact_inv);
+        ASSERT_EQ(lazy_inv, exact_inv) << "inverse diverged, trial " << trial;
+        ASSERT_EQ(lazy_inv, a) << "round trip lost the input, trial " << trial;
+        for (const u64 v : lazy_inv) ASSERT_LT(v, p) << "inverse output not fully reduced";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttLazyReductionTest, ::testing::Values(16, 256, 1024));
+
 TEST(Ntt, PointwiseProductIsNegacyclicConvolution) {
     const std::size_t n = 32;
     const u64 p = next_ntt_prime(1ULL << 49, 2 * n);
