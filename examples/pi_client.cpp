@@ -1,17 +1,23 @@
-// pi_client: the input owner's half of a real two-process deployment.
+// pi_client: the input owner's half of a real two-process deployment —
+// a WEIGHTLESS client.
 //
-// Connects to a running pi_server over localhost TCP, runs one private
-// inference with pi::ClientSession over net::TcpTransport, and prints
-// the prediction plus the per-phase traffic accounting.
+// Connects to a running pi_server over localhost TCP, receives the
+// public pi::ModelArtifact the server ships at session start (layer
+// plan, boundary, fixed-point format, BFV parameters — never weights),
+// compiles a pi::ClientModel from it, runs one private inference with
+// pi::ClientSession over net::TcpTransport, and prints the prediction
+// plus the per-phase traffic accounting. The only model-derived data
+// this process ever holds arrives via the wire artifact.
 //
-//   ./build/examples/pi_client [--host H] [--port P] [--full-pi]
+//   ./build/examples/pi_client [--host H] [--port P]
 //                              [--backend delphi|cheetah] [--noise L]
-//                              [--input-seed N] [--check]
+//                              [--input-seed N] [--check --with-model]
 //
-// --check recomputes the logits with plaintext inference on the (shared)
-// demo model and fails unless the private result matches within
-// fixed-point tolerance — this is what the CI smoke test asserts across
-// two real OS processes.
+// --check audits the private result against plaintext inference, which
+// requires a local copy of the reference model: it must be paired with
+// --with-model (the CI smoke test runs both a weightless client and a
+// checking one). --check without --with-model fails up front — the
+// default client has no weights to check against, by design.
 //
 // Peer binary: examples/pi_server.cpp. Wire format: docs/PROTOCOL.md.
 
@@ -29,27 +35,40 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         if (!demo::parse_remote_flag(argc, argv, i, opts)) {
             std::fprintf(stderr,
-                         "usage: pi_client [--host H] [--port P] [--full-pi]\n"
+                         "usage: pi_client [--host H] [--port P]\n"
                          "                 [--backend delphi|cheetah] [--noise L]\n"
-                         "                 [--input-seed N] [--check]\n");
+                         "                 [--input-seed N] [--check --with-model]\n");
             return 2;
         }
     }
-
-    const nn::Sequential model = demo::make_demo_model();
-    // Input-owner artifact: skip the server-side weight-NTT precompute —
-    // the client side of the protocol only uses encoder geometry.
-    auto compile_opts = demo::demo_compile_options(opts.full_pi);
-    compile_opts.server_precompute = false;
-    const pi::CompiledModel compiled(model, compile_opts);
-    const pi::ClientSession session(compiled, opts.session);
-
-    Rng input_rng(opts.input_seed);
-    const Tensor input = Tensor::uniform({1, 3, 16, 16}, input_rng, 0.0F, 1.0F);
+    if (opts.check && !opts.with_model) {
+        std::fprintf(stderr,
+                     "pi_client: --check needs a local reference model to compare against; "
+                     "pass --with-model to opt into holding the demo weights\n");
+        return 2;
+    }
 
     std::printf("connecting to %s:%u ...\n", opts.host.c_str(), opts.port);
     auto transport = net::connect(opts.host, opts.port, /*timeout_ms=*/30'000);
     transport->set_recv_timeout(120'000);
+
+    // Session bootstrap: the server ships its public artifact first.
+    const auto artifact_bytes = transport->recv_artifact_bytes();
+    const pi::ModelArtifact artifact = pi::ModelArtifact::deserialize(artifact_bytes);
+    std::printf("model artifact: %zu bytes (%lld crypto + %lld clear linear ops, %s)\n",
+                artifact_bytes.size(), static_cast<long long>(artifact.crypto_linear_ops()),
+                static_cast<long long>(artifact.hidden_linear_ops()),
+                artifact.full_pi ? "full PI" : "crypto-clear");
+    const pi::ClientModel client_model(artifact);
+    const pi::ClientSession session(client_model, opts.session);
+
+    // The input shape, too, comes from the artifact — nothing about the
+    // deployment is hard-coded into the input owner's binary.
+    Shape input_shape{1};
+    input_shape.insert(input_shape.end(), artifact.input_chw.begin(),
+                       artifact.input_chw.end());
+    Rng input_rng(opts.input_seed);
+    const Tensor input = Tensor::uniform(input_shape, input_rng, 0.0F, 1.0F);
 
     Stopwatch watch;
     const Tensor logits = session.run(*transport, input);
@@ -65,8 +84,11 @@ int main(int argc, char** argv) {
     demo::print_stats(stats);
 
     if (opts.check) {
-        // The demo client holds the full model (see remote_common.hpp),
-        // so it can audit the private result against plaintext inference.
+        // Opt-in audit path (--with-model): reconstruct the demo model
+        // locally and compare against plaintext inference. The weights
+        // exist only on this side branch — the protocol above never saw
+        // them.
+        const nn::Sequential model = demo::make_demo_model();
         const Tensor want = model.infer(input);
         float max_diff = 0.0F;
         for (std::int64_t i = 0; i < want.numel(); ++i)

@@ -3,7 +3,9 @@
 // Compiles the demo model ONCE into an immutable pi::CompiledModel, then
 // listens on localhost TCP and serves each accepted connection with a
 // pi::ServerSession over net::TcpTransport — the same session code that
-// runs in-process in quickstart, now as its own OS process.
+// runs in-process in quickstart, now as its own OS process. Each session
+// starts by shipping the serialized public pi::ModelArtifact (plan,
+// boundary, formats — no weights), so the peer pi_client runs weightless.
 //
 //   ./build/examples/pi_server [--port P] [--clients N] [--full-pi]
 //                              [--backend delphi|cheetah] [--noise L]
@@ -35,10 +37,13 @@ int main(int argc, char** argv) {
     const nn::Sequential model = demo::make_demo_model();
     const pi::CompiledModel compiled(model, demo::demo_compile_options(opts.full_pi));
     const pi::ServerSession session(compiled, opts.session);
+    // Serialized once; every session ships the same bytes.
+    const std::vector<std::uint8_t> artifact_bytes = compiled.artifact().serialize();
     std::printf("compiled %s model: %lld crypto + %lld clear linear ops\n",
                 opts.full_pi ? "full-PI" : "crypto-clear",
                 static_cast<long long>(compiled.crypto_linear_ops()),
                 static_cast<long long>(compiled.hidden_linear_ops()));
+    std::printf("model artifact: %zu bytes\n", artifact_bytes.size());
 
     net::TcpListener listener(opts.port, opts.host);
     std::printf("listening on %s:%u\n", opts.host.c_str(), listener.port());
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
             auto transport = listener.accept(forever ? -1 : 120'000);
             transport->set_recv_timeout(120'000);
             Stopwatch watch;
+            transport->send_artifact_bytes(artifact_bytes);
             session.run(*transport);
             auto stats = pi::stats_from_channel(transport->stats());
             stats.wall_seconds = watch.seconds();

@@ -2,16 +2,18 @@
 
 // Shared setup for the two-process deployment demo (pi_server/pi_client).
 //
-// Both binaries reconstruct the same demo model from the same fixed seed.
-// That is a stand-in for distributing the model *architecture*: a real
-// deployment would ship the topology and the public protocol parameters
-// (fixed-point format, HE ring degree, boundary) to the client while the
-// trained weights stay on the server — the client side of the protocol
-// only ever uses the architecture (CompiledModel::plan/fmt/bfv), never
-// the server's weights.
+// Only the SERVER constructs the demo model: the deployed client is
+// weightless — it receives the public pi::ModelArtifact (topology,
+// boundary, fixed-point format, BFV parameters) over the wire at session
+// start and compiles a pi::ClientModel from it, holding no weights at
+// any point. make_demo_model() appears on the client side only behind
+// the explicit --check --with-model audit path, which reconstructs the
+// reference model to compare the private result against plaintext
+// inference.
 //
-// The two processes must agree on every protocol parameter below; pass
-// the same --full-pi/--backend/--noise flags to both.
+// The two processes must agree on the SessionConfig; pass the same
+// --backend/--noise flags to both (--full-pi is a server-side compile
+// choice the client learns from the artifact).
 
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +62,7 @@ struct RemoteOptions {
     int clients = 1;              // server: connections to serve (0 = forever)
     std::uint64_t input_seed = 100;  // client: RNG seed for the demo input
     bool check = false;              // client: verify against plaintext
+    bool with_model = false;         // client: opt into local reference weights
 };
 
 /// Parse flags understood by both binaries; returns nullopt-style false
@@ -97,6 +100,8 @@ inline bool parse_remote_flag(int argc, char** argv, int& i, RemoteOptions& o) {
         o.input_seed = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--check") {
         o.check = true;
+    } else if (flag == "--with-model") {
+        o.with_model = true;
     } else {
         return false;
     }

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Two-process deployment smoke test: launch pi_server and pi_client as
-# separate OS processes over localhost TCP and require the client to
-# (a) produce a prediction and (b) pass its --check audit against
-# plaintext inference. Run by CI and registered as the `smoke_tcp`
-# ctest; also runnable by hand:
+# separate OS processes over localhost TCP and require that
+#   (a) the WEIGHTLESS client path works: the client receives the model
+#       artifact over the wire (no make_demo_model on the client side),
+#       reports its size, and produces a prediction;
+#   (b) the audit path works: a second client run with --check
+#       --with-model passes its comparison against plaintext inference;
+#   (c) --check WITHOUT --with-model fails fast with a clear message —
+#       the default client has no weights to check against, by design.
+# Run by CI and registered as the `smoke_tcp` ctest; also runnable by
+# hand:
 #
 #   scripts/smoke_tcp.sh [path/to/build/examples]
 #
@@ -22,6 +28,8 @@ client_bin=$bin_dir/pi_client
 workdir=$(mktemp -d)
 server_log=$workdir/server.log
 client_log=$workdir/client.log
+check_log=$workdir/client_check.log
+noweights_log=$workdir/client_noweights.log
 server_pid=
 cleanup() {
     [[ -n $server_pid ]] && kill "$server_pid" 2>/dev/null || true
@@ -29,7 +37,17 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$server_bin" --port 0 --clients 1 >"$server_log" 2>&1 &
+# (c) needs no server: the flag contradiction is rejected before connecting.
+check_rc=0
+"$client_bin" --check >"$noweights_log" 2>&1 || check_rc=$?
+[[ $check_rc -ne 0 ]] || { echo "smoke_tcp: --check without --with-model must fail" >&2; exit 1; }
+grep -q "with-model" "$noweights_log" || {
+    echo "smoke_tcp: --check refusal did not explain --with-model" >&2
+    cat "$noweights_log" >&2
+    exit 1
+}
+
+"$server_bin" --port 0 --clients 2 >"$server_log" 2>&1 &
 server_pid=$!
 
 port=
@@ -41,18 +59,33 @@ for _ in $(seq 1 100); do
 done
 [[ -n $port ]] || { echo "smoke_tcp: server never reported its port" >&2; cat "$server_log" >&2; exit 1; }
 
+# (a) the deployed default: a weightless client, artifact over the wire.
 client_rc=0
-"$client_bin" --port "$port" --check >"$client_log" 2>&1 || client_rc=$?
+"$client_bin" --port "$port" >"$client_log" 2>&1 || client_rc=$?
+
+# (b) the opt-in audit: local reference weights, plaintext comparison.
+audit_rc=0
+"$client_bin" --port "$port" --check --with-model >"$check_log" 2>&1 || audit_rc=$?
 
 server_rc=0
 wait "$server_pid" || server_rc=$?
 server_pid=
 
 echo "--- pi_server ---"; cat "$server_log"
-echo "--- pi_client ---"; cat "$client_log"
+echo "--- pi_client (weightless) ---"; cat "$client_log"
+echo "--- pi_client (--check --with-model) ---"; cat "$check_log"
 
-[[ $client_rc -eq 0 ]] || { echo "smoke_tcp: client failed (rc=$client_rc)" >&2; exit 1; }
+[[ $client_rc -eq 0 ]] || { echo "smoke_tcp: weightless client failed (rc=$client_rc)" >&2; exit 1; }
+[[ $audit_rc -eq 0 ]] || { echo "smoke_tcp: checking client failed (rc=$audit_rc)" >&2; exit 1; }
 [[ $server_rc -eq 0 ]] || { echo "smoke_tcp: server failed (rc=$server_rc)" >&2; exit 1; }
-grep -q "predicted class:" "$client_log" || { echo "smoke_tcp: no prediction in client output" >&2; exit 1; }
-grep -q "CHECK OK" "$client_log" || { echo "smoke_tcp: client check did not pass" >&2; exit 1; }
-echo "smoke_tcp: OK (two processes, port $port)"
+grep -Eq "model artifact: [0-9]+ bytes" "$client_log" || {
+    echo "smoke_tcp: weightless client did not report the artifact size" >&2
+    exit 1
+}
+grep -q "predicted class:" "$client_log" || { echo "smoke_tcp: no prediction in weightless client output" >&2; exit 1; }
+grep -Eq "model artifact: [0-9]+ bytes" "$server_log" || {
+    echo "smoke_tcp: server did not report the artifact size" >&2
+    exit 1
+}
+grep -q "CHECK OK" "$check_log" || { echo "smoke_tcp: client check did not pass" >&2; exit 1; }
+echo "smoke_tcp: OK (two processes, port $port, weightless client + audit)"

@@ -43,6 +43,10 @@ struct FixedPointFormat {
     [[nodiscard]] Ring truncate(Ring r) const {
         return static_cast<Ring>(static_cast<std::int64_t>(r) >> frac_bits);
     }
+
+    /// The format is a public protocol parameter (serialized inside
+    /// pi::ModelArtifact); both parties must agree on it exactly.
+    friend bool operator==(const FixedPointFormat&, const FixedPointFormat&) = default;
 };
 
 }  // namespace c2pi

@@ -203,4 +203,17 @@ inline void parallel_for(const ThreadPool* pool, std::int64_t begin, std::int64_
     pool->parallel_for(begin, end, fn);
 }
 
+/// Validate + resolve a serving thread count and build the pool for it.
+/// A one-thread pool is pure overhead, so the result is null whenever the
+/// request resolves to serial — callers treat "no pool" as the exact
+/// serial schedule. Shared by CompiledModel and ClientModel so the two
+/// halves of an artifact can never diverge on thread resolution.
+[[nodiscard]] inline std::unique_ptr<ThreadPool> make_serving_pool(int num_threads) {
+    require(num_threads >= 0 && num_threads <= kMaxThreads,
+            "num_threads must lie in [0, 1024] (0 = auto)");
+    const int resolved = resolve_thread_count(num_threads);
+    if (resolved <= 1) return nullptr;
+    return std::make_unique<ThreadPool>(resolved);
+}
+
 }  // namespace c2pi::core

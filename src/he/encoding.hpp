@@ -36,6 +36,10 @@ struct ConvGeometry {
     [[nodiscard]] std::int64_t padded_w() const { return width + 2 * pad; }
     [[nodiscard]] std::int64_t out_h() const { return (padded_h() - kernel) / stride + 1; }
     [[nodiscard]] std::int64_t out_w() const { return (padded_w() - kernel) / stride + 1; }
+
+    /// Geometry is public protocol data (it travels inside the serialized
+    /// pi::ModelArtifact); equality lets both parties verify agreement.
+    friend bool operator==(const ConvGeometry&, const ConvGeometry&) = default;
 };
 
 class ConvEncoder {

@@ -17,10 +17,19 @@
 
 namespace c2pi::net {
 
-/// One blocking FIFO direction of the duplex channel.
+/// One blocking FIFO direction of the duplex channel. Messages carry a
+/// bootstrap tag mirroring TcpTransport's frame types, so an artifact
+/// met by a protocol recv (or vice versa) raises the same typed error
+/// in-process that it would over a socket instead of silently feeding
+/// setup bytes into the protocol.
 class ByteQueue {
 public:
-    void push(std::vector<std::uint8_t> msg) {
+    struct Msg {
+        std::vector<std::uint8_t> bytes;
+        bool artifact = false;  ///< session-bootstrap message, not protocol data
+    };
+
+    void push(Msg msg) {
         {
             const std::lock_guard<std::mutex> lock(mutex_);
             queue_.push_back(std::move(msg));
@@ -28,7 +37,7 @@ public:
         cv_.notify_one();
     }
 
-    [[nodiscard]] std::vector<std::uint8_t> pop() {
+    [[nodiscard]] Msg pop() {
         std::unique_lock<std::mutex> lock(mutex_);
         cv_.wait(lock, [&] { return !queue_.empty(); });
         auto msg = std::move(queue_.front());
@@ -39,7 +48,7 @@ public:
 private:
     std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<std::vector<std::uint8_t>> queue_;
+    std::deque<Msg> queue_;
 };
 
 /// Shared state of an in-process two-party connection.
@@ -76,14 +85,31 @@ public:
 
     void send_bytes(std::span<const std::uint8_t> data) override {
         channel_->record_send(party_, phase_, data.size());
-        channel_->queue_to(1 - party_).push(std::vector<std::uint8_t>(data.begin(), data.end()));
+        channel_->queue_to(1 - party_).push(
+            {std::vector<std::uint8_t>(data.begin(), data.end()), /*artifact=*/false});
     }
 
     [[nodiscard]] std::vector<std::uint8_t> recv_bytes() override {
-        return channel_->queue_to(party_).pop();
+        auto msg = channel_->queue_to(party_).pop();
+        require(!msg.artifact, "in-proc recv: unexpected artifact message mid-protocol");
+        return std::move(msg.bytes);
     }
 
     [[nodiscard]] ChannelStats stats() const override { return channel_->stats(); }
+
+    /// Session bootstrap (artifact shipping): enqueued like any message
+    /// but NOT metered — setup bytes are transport overhead, never
+    /// protocol traffic (mirrors TcpTransport's unmetered kArtifact
+    /// frame).
+    void send_artifact_bytes(std::span<const std::uint8_t> bytes) override {
+        channel_->queue_to(1 - party_).push(
+            {std::vector<std::uint8_t>(bytes.begin(), bytes.end()), /*artifact=*/true});
+    }
+    [[nodiscard]] std::vector<std::uint8_t> recv_artifact_bytes() override {
+        auto msg = channel_->queue_to(party_).pop();
+        require(msg.artifact, "in-proc recv: expected the session's artifact message");
+        return std::move(msg.bytes);
+    }
 
 private:
     DuplexChannel* channel_;

@@ -188,7 +188,7 @@ std::vector<std::uint8_t> TcpTransport::recv_bytes() {
     return payload;
 }
 
-void TcpTransport::recv_bytes_into(std::vector<std::uint8_t>& out) {
+Phase TcpTransport::recv_frame_into(std::vector<std::uint8_t>& out, FrameType expected) {
     require(is_open(), "tcp recv: transport is closed");
     require(!peer_shutdown_, "tcp recv: peer already ended the session");
     std::uint8_t header[kFrameHeaderSize];
@@ -202,15 +202,48 @@ void TcpTransport::recv_bytes_into(std::vector<std::uint8_t>& out) {
         peer_shutdown_ = true;
         fail("tcp recv: peer ended the session");
     }
-    require(type == FrameType::kData, "tcp recv: unknown frame type");
-    require(header[5] < kNumPhases, "tcp recv: bad phase tag");
-    const auto phase = static_cast<Phase>(header[5]);
+    if (type != FrameType::kData && type != FrameType::kArtifact)
+        fail("tcp recv: unknown frame type");
+    if (type != expected) {
+        fail(expected == FrameType::kArtifact
+                 ? "tcp recv: expected the session's artifact frame"
+                 : "tcp recv: unexpected artifact frame mid-protocol");
+    }
+    if (type == FrameType::kArtifact)
+        require(len <= kMaxArtifactPayload,
+                "tcp recv: artifact frame implausibly large (corrupt or hostile peer)");
+    // §3: the phase tag on an ARTIFACT frame is ignored (bootstrap bytes
+    // are never attributed to a protocol phase), so only DATA validates it.
+    Phase phase = Phase::kOnline;
+    if (type == FrameType::kData) {
+        require(header[5] < kNumPhases, "tcp recv: bad phase tag");
+        phase = static_cast<Phase>(header[5]);
+    }
 
     out.resize(len);
     if (len > 0 && !read_all(fd_, out.data(), len))
         fail("tcp recv: connection closed mid-frame");
+    return phase;
+}
+
+void TcpTransport::recv_bytes_into(std::vector<std::uint8_t>& out) {
+    const Phase phase = recv_frame_into(out, FrameType::kData);
     const std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.record(1 - party_, phase, len);
+    stats_.record(1 - party_, phase, out.size());
+}
+
+void TcpTransport::send_artifact_bytes(std::span<const std::uint8_t> bytes) {
+    require(is_open(), "tcp send: transport is closed");
+    require(bytes.size() <= kMaxArtifactPayload, "tcp send: artifact too large for one frame");
+    // Deliberately unmetered: artifact bytes are session setup, charged
+    // to the handshake like the 8-byte hello, never to a protocol phase.
+    send_frame(FrameType::kArtifact, phase_, bytes);
+}
+
+std::vector<std::uint8_t> TcpTransport::recv_artifact_bytes() {
+    std::vector<std::uint8_t> payload;
+    (void)recv_frame_into(payload, FrameType::kArtifact);
+    return payload;
 }
 
 ChannelStats TcpTransport::stats() const {

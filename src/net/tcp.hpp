@@ -38,8 +38,13 @@ inline constexpr std::size_t kFrameHeaderSize = 8;
 /// Upper bound on a single frame's payload; a corrupt or hostile header
 /// fails fast instead of triggering a multi-gigabyte allocation.
 inline constexpr std::uint32_t kMaxFramePayload = 1U << 30;
+/// Tighter bound for the session-bootstrap ARTIFACT frame: real
+/// artifacts are a few hundred bytes, and the receiver allocates the
+/// payload before the codec can reject it — don't let a hostile server
+/// demand a gigabyte first.
+inline constexpr std::uint32_t kMaxArtifactPayload = 1U << 20;
 
-enum class FrameType : std::uint8_t { kData = 1, kShutdown = 2 };
+enum class FrameType : std::uint8_t { kData = 1, kShutdown = 2, kArtifact = 3 };
 
 /// One party's endpoint of a TCP connection. Obtain via TcpListener
 /// (server, party 0) or connect() (client, party 1); the constructor
@@ -64,6 +69,14 @@ public:
     void recv_bytes_into(std::vector<std::uint8_t>& out) override;
     [[nodiscard]] ChannelStats stats() const override;
 
+    /// Session bootstrap: the serialized model artifact travels in its
+    /// own kArtifact frame, sent by the server immediately after the
+    /// handshake and — like the handshake — NOT recorded in ChannelStats
+    /// (docs/PROTOCOL.md §3). recv throws if the next frame is anything
+    /// else: the artifact is the first thing on the wire, by spec.
+    void send_artifact_bytes(std::span<const std::uint8_t> bytes) override;
+    [[nodiscard]] std::vector<std::uint8_t> recv_artifact_bytes() override;
+
     /// Abort a `recv_bytes` blocked longer than this (0 restores
     /// blocking forever). Protects servers from stalled peers.
     void set_recv_timeout(int milliseconds);
@@ -76,6 +89,10 @@ public:
 
 private:
     void send_frame(FrameType type, Phase phase, std::span<const std::uint8_t> payload);
+    /// Read the next frame into `out`, requiring its type to be
+    /// `expected`; returns the sender's phase tag. Shutdown frames and
+    /// malformed headers raise typed errors for both callers.
+    Phase recv_frame_into(std::vector<std::uint8_t>& out, FrameType expected);
 
     int fd_ = -1;
     bool peer_shutdown_ = false;

@@ -108,6 +108,24 @@ public:
     /// Snapshot of this connection's traffic accounting.
     [[nodiscard]] virtual ChannelStats stats() const = 0;
 
+    // -- session bootstrap ---------------------------------------------------
+    /// Ship the serialized public model artifact to the peer, before any
+    /// protocol message. Artifact bytes are session *setup*, not protocol
+    /// traffic: like the handshake they are deliberately NOT recorded in
+    /// ChannelStats, so the shipped-artifact and locally-compiled client
+    /// paths keep identical per-phase stats (docs/PROTOCOL.md §3).
+    /// Implemented by InProcTransport and TcpTransport; decorators and
+    /// other transports refuse by default.
+    virtual void send_artifact_bytes(std::span<const std::uint8_t> bytes) {
+        (void)bytes;
+        fail("this transport cannot ship a model artifact");
+    }
+    /// Receive the peer's artifact frame; must be called before the first
+    /// protocol recv on transports whose peer ships one.
+    [[nodiscard]] virtual std::vector<std::uint8_t> recv_artifact_bytes() {
+        fail("this transport cannot receive a model artifact");
+    }
+
     // -- typed helpers -------------------------------------------------------
     void send_u64s(std::span<const std::uint64_t> values) {
         send_bytes(std::span<const std::uint8_t>(

@@ -40,16 +40,4 @@ C2piSystem::C2piSystem(const nn::Sequential& model, const nn::CutPoint& boundary
     boundary_.boundary = boundary;
 }
 
-PiEngine make_full_pi_engine(const nn::Sequential& model, PiBackend backend,
-                             const C2piOptions& options) {
-    PiEngine::Options opts;
-    opts.backend = backend;
-    opts.fmt = options.fmt;
-    opts.he_ring_degree = options.he_ring_degree;
-    opts.boundary = std::nullopt;
-    opts.noise_lambda = 0.0F;
-    opts.seed = options.seed;
-    return PiEngine(model, opts);
-}
-
 }  // namespace c2pi::pi

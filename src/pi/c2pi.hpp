@@ -10,7 +10,6 @@
 /// object; see docs/API.md for the underlying compile-once flow.
 
 #include "pi/boundary.hpp"
-#include "pi/engine.hpp"
 #include "pi/service.hpp"
 
 namespace c2pi::pi {
@@ -55,11 +54,5 @@ private:
     CompiledModel compiled_;
     InferenceService service_;
 };
-
-/// Full-PI baseline engine for the same model/backend (the paper's
-/// comparison point in Table II). \deprecated Prefer constructing a
-/// CompiledModel without a boundary and an InferenceService over it.
-[[nodiscard]] PiEngine make_full_pi_engine(const nn::Sequential& model, PiBackend backend,
-                                           const C2piOptions& options);
 
 }  // namespace c2pi::pi

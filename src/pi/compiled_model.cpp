@@ -4,57 +4,45 @@ namespace c2pi::pi {
 
 namespace {
 
-/// Resolve + validate the options before any member construction work.
-/// Returns the validated options (so the member initializer list can run
-/// validation exactly once, before the expensive BFV precompute).
-CompiledModel::Options validate(const nn::Sequential& model, CompiledModel::Options options) {
-    require(options.input_chw.size() == 3, "CompiledModel expects a [C,H,W] input shape");
-    for (const auto d : options.input_chw)
-        require(d > 0, "CompiledModel input dimensions must be positive");
-    require(options.fmt.frac_bits > 0 && options.fmt.frac_bits < 30,
-            "frac_bits must lie in (0, 30): too few bits loses all precision, too many "
-            "overflow the truncation headroom");
-    require(options.he_ring_degree > 0 &&
-                (options.he_ring_degree & (options.he_ring_degree - 1)) == 0,
-            "he_ring_degree must be a power of two");
-    require(options.num_threads >= 0 && options.num_threads <= 1024,
-            "num_threads must lie in [0, 1024] (0 = auto)");
-    require(model.num_linear_ops() > 0, "model has no linear ops to compile");
-    if (options.boundary.has_value()) {
-        require(options.boundary->linear_index >= 1, "boundary linear_index must be >= 1");
-        require(options.boundary->linear_index <= model.num_linear_ops(),
-                "boundary lies past the last linear op of the model");
-        // Let flat_cut_index validate the ".5" position (ReLU must follow).
-        (void)model.flat_cut_index(*options.boundary);
-    }
-    return options;
-}
-
-/// A one-thread pool is pure overhead: leave it null so every loop runs
-/// the plain serial code path.
-std::unique_ptr<core::ThreadPool> make_pool(int num_threads) {
-    const int resolved = core::resolve_thread_count(num_threads);
-    if (resolved <= 1) return nullptr;
-    return std::make_unique<core::ThreadPool>(resolved);
+/// Verify that a (possibly wire-received) artifact describes exactly the
+/// crypto prefix this model would plan: same architecture, geometry and
+/// boundary, field for field. Serving weights against a mismatched
+/// artifact would fail deep inside the protocol — or worse, succeed with
+/// a transcript the client misinterprets.
+ModelArtifact checked_against(ModelArtifact artifact, const nn::Sequential& model) {
+    artifact.validate();
+    require(model.num_linear_ops() == artifact.num_linear_ops,
+            "artifact/model mismatch: different linear-op counts");
+    require(model.flat_cut_index(artifact.cut) + 1 == artifact.plan.size(),
+            "artifact/model mismatch: boundary maps to a different flat layer");
+    require(plan_layers(model, artifact.input_chw, artifact.plan.size()) == artifact.plan,
+            "artifact/model mismatch: the model plans a different crypto prefix");
+    return artifact;
 }
 
 }  // namespace
 
 CompiledModel::CompiledModel(const nn::Sequential& model, Options options)
+    : CompiledModel(TrustedArtifact{ModelArtifact::build(
+                        model, {.input_chw = std::move(options.input_chw),
+                                .boundary = options.boundary,
+                                .fmt = options.fmt,
+                                .he_ring_degree = options.he_ring_degree})},
+                    model, options.num_threads) {}
+
+CompiledModel::CompiledModel(ModelArtifact artifact, const nn::Sequential& model,
+                             int num_threads)
+    : CompiledModel(TrustedArtifact{checked_against(std::move(artifact), model)}, model,
+                    num_threads) {}
+
+CompiledModel::CompiledModel(TrustedArtifact trusted, const nn::Sequential& model,
+                             int num_threads)
     : model_(&model),
-      options_(validate(model, std::move(options))),
-      cut_(options_.boundary.value_or(
-          nn::CutPoint{.linear_index = model.num_linear_ops(), .after_relu = false})),
-      num_linear_ops_(model.num_linear_ops()),
-      crypto_end_(model.flat_cut_index(cut_) + 1),
-      full_pi_(crypto_end_ >= model.size() || cut_.linear_index == num_linear_ops_),
-      plan_(plan_layers(model, options_.input_chw, crypto_end_)),
-      server_data_(extract_server_data(model, crypto_end_, options_.fmt)),
-      pool_(make_pool(options_.num_threads)),
-      bfv_(he::BfvContext::Params{
-          .n = options_.he_ring_degree, .limbs = 4, .noise_bound = 4, .pool = pool_.get()}),
-      layer_caches_(precompute_layer_caches(plan_, server_data_, bfv_,
-                                            options_.server_precompute)) {}
+      artifact_(std::move(trusted.artifact)),
+      pool_(core::make_serving_pool(num_threads)),
+      server_data_(extract_server_data(model, artifact_.plan.size(), artifact_.fmt)),
+      bfv_(artifact_.bfv_params(pool_.get())),
+      layer_caches_(precompute_layer_caches(artifact_.plan, server_data_, bfv_)) {}
 
 int CompiledModel::num_threads() const { return pool_ == nullptr ? 1 : pool_->num_threads(); }
 
@@ -66,11 +54,11 @@ Shape CompiledModel::batched_boundary_shape(std::int64_t batch) const {
 }
 
 Tensor CompiledModel::run_clear_tail(const Tensor& boundary_activations) const {
-    require(!full_pi_, "full-PI artifact has no clear tail");
+    require(!full_pi(), "full-PI artifact has no clear tail");
     require(boundary_activations.rank() >= 2,
             "clear tail expects a batched [N, ...] boundary activation");
     tail_passes_.fetch_add(1, std::memory_order_relaxed);
-    return model_->infer_range(crypto_end_, model_->size(), boundary_activations);
+    return model_->infer_range(crypto_end(), model_->size(), boundary_activations);
 }
 
 }  // namespace c2pi::pi

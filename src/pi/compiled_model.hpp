@@ -1,15 +1,19 @@
 #pragma once
 
 /// \file compiled_model.hpp
-/// The compile-once half of the serve-many PI API.
+/// The server-only compile-once half of the serve-many PI API.
 ///
-/// A `CompiledModel` is built exactly once per (model, boundary, format,
-/// HE parameters) and is immutable afterwards: it owns the crypto-layer
-/// execution plan, the ring-encoded server weights, and the precomputed
-/// BFV/NTT context. Because nothing in it mutates after construction, a
+/// A `CompiledModel` embeds the public `pi::ModelArtifact` (architecture,
+/// boundary, formats — everything the client may learn, artifact.hpp) and
+/// adds the server secrets derived from the trained weights: ring-encoded
+/// weights/biases (`server_data()`) and the precomputed NTT-form weight
+/// plaintexts (`layer_caches()`). It is built exactly once per (model,
+/// boundary, format, HE parameters) and is immutable afterwards, so a
 /// single `const CompiledModel` can back any number of concurrent
-/// `ServerSession`/`ClientSession` pairs (session.hpp) or a batched
-/// `InferenceService` (service.hpp).
+/// `ServerSession`s (session.hpp) or a batched `InferenceService`
+/// (service.hpp). The input owner's counterpart is `pi::ClientModel`,
+/// compiled from the artifact alone — holding a CompiledModel means
+/// holding weights, and only the model owner ever does.
 ///
 /// All option validation happens here, at the API boundary: bad
 /// fixed-point formats, non-power-of-two HE ring degrees, and boundaries
@@ -23,7 +27,7 @@
 
 #include "he/bfv.hpp"
 #include "net/cost_model.hpp"
-#include "pi/plan.hpp"
+#include "pi/artifact.hpp"
 
 namespace c2pi::pi {
 
@@ -63,7 +67,7 @@ struct PiResult {
     std::int64_t hidden_linear_ops = 0;  ///< clear-layer ops hidden from the client
 };
 
-/// Immutable, setup-once PI artifact. Construction runs every
+/// Immutable, setup-once server artifact. Construction runs every
 /// input-independent step of the protocol setup (layer planning, weight
 /// ring-encoding, BFV/NTT precompute); serving never re-runs them.
 class CompiledModel {
@@ -81,29 +85,34 @@ public:
         /// hardware_concurrency. 1 = the exact serial seed schedule.
         /// Any value produces bit-identical transcripts and logits.
         int num_threads = 0;
-        /// Build the server-side weight-plaintext cache (NTT form +
-        /// Shoup companions). A pure input-owner process sets this false
-        /// to skip the weight NTTs and their memory — ClientSession only
-        /// uses encoder geometry; ServerSession then throws.
-        bool server_precompute = true;
     };
 
-    /// Compiles the model. The model is borrowed const and must outlive
-    /// the CompiledModel; its weights must not change while sessions use
-    /// this artifact. Throws c2pi::Error on invalid options.
+    /// Compiles the model: builds the public ModelArtifact for these
+    /// options, then the server secrets from the weights. The model is
+    /// borrowed const and must outlive the CompiledModel; its weights
+    /// must not change while sessions use this artifact. Throws
+    /// c2pi::Error on invalid options.
     CompiledModel(const nn::Sequential& model, Options options);
+
+    /// Compiles server secrets for an existing public artifact (e.g. one
+    /// agreed with clients out of band). Verifies that the artifact's
+    /// plan matches `model` exactly — a mismatched pairing throws instead
+    /// of serving a protocol the client's artifact cannot describe.
+    CompiledModel(ModelArtifact artifact, const nn::Sequential& model, int num_threads = 0);
 
     CompiledModel(const CompiledModel&) = delete;
     CompiledModel& operator=(const CompiledModel&) = delete;
 
     [[nodiscard]] const nn::Sequential& model() const { return *model_; }
-    [[nodiscard]] const Options& options() const { return options_; }
-    [[nodiscard]] const FixedPointFormat& fmt() const { return options_.fmt; }
+    /// The public half: ship this (serialized) to clients at session
+    /// start; it contains no weights and nothing derived from them.
+    [[nodiscard]] const ModelArtifact& artifact() const { return artifact_; }
+    [[nodiscard]] const FixedPointFormat& fmt() const { return artifact_.fmt; }
     [[nodiscard]] const he::BfvContext& bfv() const { return bfv_; }
-    [[nodiscard]] const Shape& input_shape() const { return options_.input_chw; }
+    [[nodiscard]] const Shape& input_shape() const { return artifact_.input_chw; }
 
     /// Crypto-layer plan (flat layers [0, crypto_end())); architecture only.
-    [[nodiscard]] const std::vector<LayerPlan>& plan() const { return plan_; }
+    [[nodiscard]] const std::vector<LayerPlan>& plan() const { return artifact_.plan; }
     /// Ring-encoded weights/biases for the crypto layers (server secret).
     [[nodiscard]] const std::vector<ServerLayerData>& server_data() const { return server_data_; }
     /// Per-layer HE precompute: encoders + NTT-form weight plaintexts.
@@ -113,17 +122,15 @@ public:
     [[nodiscard]] int num_threads() const;
 
     /// One-past-the-end flat layer index of the crypto prefix.
-    [[nodiscard]] std::size_t crypto_end() const { return crypto_end_; }
+    [[nodiscard]] std::size_t crypto_end() const { return artifact_.plan.size(); }
     /// The resolved cut point (last linear op for full PI).
-    [[nodiscard]] const nn::CutPoint& cut() const { return cut_; }
-    [[nodiscard]] bool full_pi() const { return full_pi_; }
-    [[nodiscard]] std::int64_t crypto_linear_ops() const { return cut_.linear_index; }
-    [[nodiscard]] std::int64_t hidden_linear_ops() const {
-        return num_linear_ops_ - cut_.linear_index;
-    }
+    [[nodiscard]] const nn::CutPoint& cut() const { return artifact_.cut; }
+    [[nodiscard]] bool full_pi() const { return artifact_.full_pi; }
+    [[nodiscard]] std::int64_t crypto_linear_ops() const { return artifact_.crypto_linear_ops(); }
+    [[nodiscard]] std::int64_t hidden_linear_ops() const { return artifact_.hidden_linear_ops(); }
 
     /// Shape of the boundary activation, per sample (no batch dim).
-    [[nodiscard]] const Shape& boundary_shape() const { return plan_.back().out_shape; }
+    [[nodiscard]] const Shape& boundary_shape() const { return artifact_.boundary_shape(); }
     /// Boundary activation shape with a batch dimension prepended.
     [[nodiscard]] Shape batched_boundary_shape(std::int64_t batch) const;
 
@@ -140,15 +147,21 @@ public:
     }
 
 private:
+    /// Tag for artifacts that need no model cross-check: the local
+    /// compile path just built its artifact FROM the model, so re-running
+    /// plan_layers to compare the plan against itself would only double
+    /// the compile cost. Foreign artifacts go through checked_against.
+    struct TrustedArtifact {
+        ModelArtifact artifact;
+    };
+    CompiledModel(TrustedArtifact trusted, const nn::Sequential& model, int num_threads);
+
     const nn::Sequential* model_;
-    Options options_;
-    nn::CutPoint cut_;
-    std::int64_t num_linear_ops_ = 0;
-    std::size_t crypto_end_ = 0;
-    bool full_pi_ = false;
-    std::vector<LayerPlan> plan_;
-    std::vector<ServerLayerData> server_data_;
+    ModelArtifact artifact_;
+    /// Initialized before server_data_ so an invalid num_threads fails at
+    /// the API boundary, not after ring-encoding every weight.
     std::unique_ptr<core::ThreadPool> pool_;  ///< null when serving serially
+    std::vector<ServerLayerData> server_data_;
     he::BfvContext bfv_;                      ///< borrows pool_
     std::vector<LayerCache> layer_caches_;    ///< borrows server_data_ + bfv_
     mutable std::atomic<std::uint64_t> tail_passes_{0};

@@ -112,18 +112,35 @@ std::vector<ServerLayerData> extract_server_data(const nn::Sequential& model, st
 
 std::vector<LayerCache> precompute_layer_caches(const std::vector<LayerPlan>& plan,
                                                 const std::vector<ServerLayerData>& data,
-                                                const he::BfvContext& bfv, bool server_weights) {
+                                                const he::BfvContext& bfv) {
     require(plan.size() == data.size(), "plan/server-data length mismatch");
     std::vector<LayerCache> caches(plan.size());
     for (std::size_t i = 0; i < plan.size(); ++i) {
         const LayerPlan& p = plan[i];
         if (p.op == PlanOp::kConv) {
             caches[i].conv = std::make_unique<mpc::ConvLayerCache>(
-                bfv, p.geo, data[i].weights, data[i].bias2f, server_weights);
+                bfv, p.geo, data[i].weights, data[i].bias2f);
         } else if (p.op == PlanOp::kLinear) {
             caches[i].matvec = std::make_unique<mpc::MatVecLayerCache>(
-                bfv, p.in_features, p.out_features, data[i].weights, data[i].bias2f,
-                server_weights);
+                bfv, p.in_features, p.out_features, data[i].weights, data[i].bias2f);
+        }
+    }
+    return caches;
+}
+
+std::vector<LayerCache> precompute_client_caches(const std::vector<LayerPlan>& plan,
+                                                 const he::BfvContext& bfv) {
+    std::vector<LayerCache> caches(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const LayerPlan& p = plan[i];
+        if (p.op == PlanOp::kConv) {
+            caches[i].conv = std::make_unique<mpc::ConvLayerCache>(
+                bfv, p.geo, std::span<const Ring>{}, std::span<const Ring>{},
+                /*precompute_weights=*/false);
+        } else if (p.op == PlanOp::kLinear) {
+            caches[i].matvec = std::make_unique<mpc::MatVecLayerCache>(
+                bfv, p.in_features, p.out_features, std::span<const Ring>{},
+                std::span<const Ring>{}, /*precompute_weights=*/false);
         }
     }
     return caches;

@@ -28,6 +28,10 @@ struct LayerPlan {
     std::int64_t pool_stride = 0;
     Shape in_shape;                     ///< [C,H,W] or [F]
     Shape out_shape;
+
+    /// Field-for-field equality: lets CompiledModel verify that a shipped
+    /// ModelArtifact matches a locally-planned model exactly.
+    friend bool operator==(const LayerPlan&, const LayerPlan&) = default;
 };
 
 /// Per-layer server secrets for the crypto layers.
@@ -55,14 +59,18 @@ struct LayerCache {
                                                                std::size_t end,
                                                                const FixedPointFormat& fmt);
 
-/// Build the HE precompute for every crypto layer: encoder geometry and
-/// the NTT-form (Shoup-companioned) weight plaintexts. `data` must
-/// outlive the returned caches. Runs the weight NTTs over the context's
-/// thread pool when it has one. `server_weights = false` builds the
-/// client-side subset (geometry only — no weight NTTs, no PlainNtt
-/// memory; serving a ServerSession from such an artifact throws).
+/// Build the server-side HE precompute for every crypto layer: encoder
+/// geometry and the NTT-form (Shoup-companioned) weight plaintexts.
+/// `data` must outlive the returned caches. Runs the weight NTTs over
+/// the context's thread pool when it has one.
 [[nodiscard]] std::vector<LayerCache> precompute_layer_caches(
     const std::vector<LayerPlan>& plan, const std::vector<ServerLayerData>& data,
-    const he::BfvContext& bfv, bool server_weights = true);
+    const he::BfvContext& bfv);
+
+/// Client-side subset of the precompute: encoder geometry and scatter
+/// indices only — no weights exist on this side, so no weight NTTs and
+/// no PlainNtt memory. Built from a public ModelArtifact plan alone.
+[[nodiscard]] std::vector<LayerCache> precompute_client_caches(
+    const std::vector<LayerPlan>& plan, const he::BfvContext& bfv);
 
 }  // namespace c2pi::pi

@@ -136,35 +136,35 @@ void ServerSession::run(net::Transport& transport, const TailFn& tail) const {
     transport.send_u64s(packed);
 }
 
-void validate_client_input(const CompiledModel& model, const Tensor& input) {
+void validate_client_input(const ModelArtifact& artifact, const Tensor& input) {
     require(input.rank() == 4 && input.dim(0) == 1, "expects a single [1,C,H,W] input");
-    require(Shape{input.dim(1), input.dim(2), input.dim(3)} == model.input_shape(),
+    require(Shape{input.dim(1), input.dim(2), input.dim(3)} == artifact.input_chw,
             "input shape does not match the compiled input shape");
 }
 
 Tensor ClientSession::run(net::Transport& transport, const Tensor& input) const {
-    const CompiledModel& cm = *model_;
-    validate_client_input(cm, input);
+    const ModelArtifact& art = *artifact_;
+    validate_client_input(art, input);
 
-    mpc::PartyContext ctx(transport, cm.fmt(), cm.bfv(), session_seed(config_));
+    mpc::PartyContext ctx(transport, art.fmt, *bfv_, session_seed(config_));
     transport.set_phase(net::Phase::kOffline);
     (void)transport.recv_bytes();  // dealer setup
     transport.set_phase(net::Phase::kOnline);
     crypto::ChaCha20Prg key_prg(crypto::Block128{config_.seed ^ 0x5E17, 0x11}, 3);
-    ctx.set_client_key(cm.bfv().keygen(key_prg));
+    ctx.set_client_key(bfv_->keygen(key_prg));
 
     std::vector<Ring> share(static_cast<std::size_t>(input.numel()));
     for (std::size_t i = 0; i < share.size(); ++i)
-        share[i] = cm.fmt().encode(input[static_cast<std::int64_t>(i)]);
-    const PartyRun runner{cm.plan(), cm.layer_caches(), config_.backend, cm.fmt()};
+        share[i] = art.fmt.encode(input[static_cast<std::int64_t>(i)]);
+    const PartyRun runner{art.plan, *caches_, config_.backend, art.fmt};
     share = runner.execute(ctx, std::move(share));
 
     Tensor logits;
-    if (cm.full_pi()) {
+    if (art.full_pi) {
         const auto out = mpc::reveal_shares_to(ctx, share, mpc::kClient);
         logits = Tensor({1, static_cast<std::int64_t>(out.size())});
         for (std::size_t i = 0; i < out.size(); ++i)
-            logits[static_cast<std::int64_t>(i)] = static_cast<float>(cm.fmt().decode(out[i]));
+            logits[static_cast<std::int64_t>(i)] = static_cast<float>(art.fmt.decode(out[i]));
         return logits;
     }
     // C2PI: add uniform noise to the share before revealing it.
@@ -173,14 +173,14 @@ Tensor ClientSession::run(net::Transport& transport, const Tensor& input) const 
             const double u =
                 (static_cast<double>(ctx.prg().next_u64() >> 11) * 0x1.0p-53 * 2.0 - 1.0) *
                 config_.noise_lambda;
-            v += cm.fmt().encode(u);
+            v += art.fmt.encode(u);
         }
     }
     (void)mpc::reveal_shares_to(ctx, share, mpc::kServer);
     const auto packed = transport.recv_u64s();
     logits = Tensor({1, static_cast<std::int64_t>(packed.size())});
     for (std::size_t i = 0; i < packed.size(); ++i)
-        logits[static_cast<std::int64_t>(i)] = static_cast<float>(cm.fmt().decode(packed[i]));
+        logits[static_cast<std::int64_t>(i)] = static_cast<float>(art.fmt.decode(packed[i]));
     return logits;
 }
 

@@ -5,17 +5,20 @@
 /// transport seam.
 ///
 /// A `ServerSession` (model owner) and a `ClientSession` (input owner)
-/// each drive their own side of a `net::Transport`. Both borrow the same
-/// immutable `CompiledModel`; per-inference state (PRG, OT extension,
-/// client HE key) lives inside the run() call, so one session object —
-/// and one CompiledModel — can serve any number of concurrent runs.
+/// each drive their own side of a `net::Transport`. The server borrows
+/// an immutable `CompiledModel` (weights + HE precompute); the client
+/// borrows only the **public** half — a `ClientModel` compiled from a
+/// `ModelArtifact`, or the artifact view embedded in a CompiledModel for
+/// in-process runs. Per-inference state (PRG, OT extension, client HE
+/// key) lives inside the run() call, so one session object can serve any
+/// number of concurrent runs.
 ///
 /// `run_private_inference` wires one server and one client through an
 /// in-process `net::DuplexChannel` (the classic two-thread setup). The
 /// session API itself is transport-agnostic: the same sessions run as
-/// two OS processes over `net::TcpTransport` (tcp.hpp) — see
-/// examples/pi_server.cpp and examples/pi_client.cpp for the deployed
-/// two-process wiring.
+/// two OS processes over `net::TcpTransport` (tcp.hpp), where the server
+/// ships its artifact at session start and the client runs **weightless**
+/// — see examples/pi_server.cpp and examples/pi_client.cpp.
 
 #include <functional>
 
@@ -44,15 +47,8 @@ public:
     /// one plaintext pass.
     using TailFn = std::function<Tensor(const Tensor&)>;
 
-    /// Throws up front if the artifact was compiled without the server
-    /// weight precompute (a client-only artifact, server_precompute =
-    /// false): better here than mid-protocol with a peer connected.
     ServerSession(const CompiledModel& model, SessionConfig config)
-        : model_(&model), config_(config) {
-        require(model.options().server_precompute,
-                "ServerSession needs an artifact compiled with server_precompute "
-                "(this one is client-only)");
-    }
+        : model_(&model), config_(config) {}
 
     /// Serve one inference over the transport; the clear tail (if any)
     /// runs inline as a single-request batch.
@@ -68,30 +64,53 @@ private:
     SessionConfig config_;
 };
 
-/// The input owner's side of one private inference.
+/// The input owner's side of one private inference. Operates purely on
+/// the public artifact: the plan, fixed-point format, BFV context and
+/// encoder geometry. It cannot read weights because the types it borrows
+/// never contain any.
 class ClientSession {
 public:
+    /// The deployed form: a weightless client compiled from a (typically
+    /// wire-received) artifact.
+    ClientSession(const ClientModel& model, SessionConfig config)
+        : artifact_(&model.artifact()),
+          bfv_(&model.bfv()),
+          caches_(&model.layer_caches()),
+          config_(config) {}
+
+    /// In-process convenience: borrow the public half of a server-side
+    /// CompiledModel (its artifact, BFV context and the encoder geometry
+    /// of its caches — the weight plaintexts next to them are never read
+    /// by client code).
     ClientSession(const CompiledModel& model, SessionConfig config)
-        : model_(&model), config_(config) {}
+        : artifact_(&model.artifact()),
+          bfv_(&model.bfv()),
+          caches_(&model.layer_caches()),
+          config_(config) {}
 
     /// Run one private inference on a [1,C,H,W] input matching the
-    /// compiled input shape; returns the logits [1, classes].
+    /// artifact's input shape; returns the logits [1, classes].
     [[nodiscard]] Tensor run(net::Transport& transport, const Tensor& input) const;
 
-    [[nodiscard]] const CompiledModel& model() const { return *model_; }
+    [[nodiscard]] const ModelArtifact& artifact() const { return *artifact_; }
     [[nodiscard]] const SessionConfig& config() const { return config_; }
 
 private:
-    const CompiledModel* model_;
+    const ModelArtifact* artifact_;
+    const he::BfvContext* bfv_;
+    const std::vector<LayerCache>* caches_;
     SessionConfig config_;
 };
 
-/// Validate a client input against a compiled artifact: a single
-/// [1,C,H,W] tensor matching the compiled input shape. Throws
-/// c2pi::Error otherwise. Every serving entry point calls this up
-/// front so a bad input fails with its root cause instead of a
-/// poisoned-peer protocol error.
-void validate_client_input(const CompiledModel& model, const Tensor& input);
+/// Validate a client input against a public artifact: a single [1,C,H,W]
+/// tensor matching the artifact's input shape. Throws c2pi::Error
+/// otherwise. Every serving entry point calls this up front so a bad
+/// input fails with its root cause instead of a poisoned-peer protocol
+/// error.
+void validate_client_input(const ModelArtifact& artifact, const Tensor& input);
+inline void validate_client_input(const CompiledModel& model, const Tensor& input) {
+    validate_client_input(model.artifact(), input);
+}
 
 /// Connect one ServerSession and one ClientSession in-process (two
 /// threads over a DuplexChannel) and run a single inference.

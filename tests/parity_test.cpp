@@ -224,17 +224,17 @@ TEST(SessionThreadParity, FullPiCheetah) {
     check_thread_parity(/*full_pi=*/true, pi::SessionConfig{.seed = 9});
 }
 
-TEST(SessionThreadParity, ClientOnlyArtifactSkipsWeightPrecompute) {
-    // An input-owner process compiles with server_precompute = false: no
-    // weight NTTs, same protocol. Serve it against a full server artifact
-    // and require the logits to match the shared-artifact reference;
-    // serving the *server* side from it must throw up front.
+TEST(SessionThreadParity, WeightlessClientModelSkipsWeightPrecompute) {
+    // An input-owner process compiles a pi::ClientModel from the public
+    // artifact alone: encoder geometry only — no weight NTTs, no weight
+    // memory, same protocol. Serve it against the server's CompiledModel
+    // and require the logits to match the shared-artifact reference.
+    // (A ServerSession over a ClientModel is not a runtime error anymore:
+    // the type split makes it unrepresentable.)
     const nn::Sequential model = demo::make_demo_model();
     const pi::SessionConfig config{.noise_lambda = 0.05F, .seed = 42};
-    auto client_opts = demo::demo_compile_options(/*full_pi=*/false);
-    client_opts.server_precompute = false;
-    const pi::CompiledModel client_side(model, client_opts);
     const pi::CompiledModel server_side(model, demo::demo_compile_options(/*full_pi=*/false));
+    const pi::ClientModel client_side(server_side.artifact());
     for (const auto& cache : client_side.layer_caches()) {
         if (cache.conv != nullptr) EXPECT_TRUE(cache.conv->w_ntt.empty());
         if (cache.matvec != nullptr) EXPECT_TRUE(cache.matvec->w_ntt.empty());
@@ -253,8 +253,6 @@ TEST(SessionThreadParity, ClientOnlyArtifactSkipsWeightPrecompute) {
         [&](net::Transport& t) { logits = client.run(t, input); });
     ASSERT_TRUE(logits.same_shape(reference.logits));
     EXPECT_TRUE(logits.allclose(reference.logits, 0.0F));
-
-    EXPECT_THROW(pi::ServerSession(client_side, config), Error);
 }
 
 // --------------------------------------------------- transport-level parity ---

@@ -1,10 +1,10 @@
 // Integration tests for the compile-once/serve-many PI API and the C2PI
 // framework: full PI (both backends) must reproduce plaintext inference
 // within fixed-point tolerance; C2PI must agree with plaintext when noise
-// is off, hide the clear layers, and cost less than full PI; the legacy
-// PiEngine shim must match the new API bit-for-bit; Algorithm 1 is
-// unit-tested with a scripted IDPA. Concurrency and batching tests for
-// the serving API live in service_test.cpp.
+// is off, hide the clear layers, and cost less than full PI; Algorithm 1
+// is unit-tested with a scripted IDPA. Concurrency and batching tests
+// for the serving API live in service_test.cpp; the ModelArtifact codec
+// and the weightless-client path live in artifact_test.cpp.
 
 #include <gtest/gtest.h>
 
@@ -106,25 +106,6 @@ TEST(Session, WanLatencyExceedsLan) {
     const PiResult res = run_private_inference(compiled, SessionConfig{}, make_test_input());
     EXPECT_GT(res.stats.latency_seconds(net::NetworkModel::wan()),
               res.stats.latency_seconds(net::NetworkModel::lan()));
-}
-
-TEST(LegacyPiEngine, ShimMatchesNewApi) {
-    nn::Sequential model = make_test_model();
-    const Tensor x = make_test_input();
-
-    PiEngine::Options opts;
-    opts.he_ring_degree = 1024;
-    PiEngine engine(model, opts);
-    const PiResult via_shim = engine.run(x);
-
-    const CompiledModel compiled(model, small_compile_options());
-    const PiResult direct = run_private_inference(compiled, SessionConfig{}, x);
-    EXPECT_TRUE(via_shim.logits.allclose(direct.logits, 0.0F));
-    EXPECT_EQ(via_shim.stats.total_bytes(), direct.stats.total_bytes());
-    // The shim compiles once: a second run reuses the same artifact.
-    const CompiledModel* first = engine.compiled();
-    (void)engine.run(x);
-    EXPECT_EQ(engine.compiled(), first);
 }
 
 TEST(C2pi, NoiselessBoundaryMatchesPlaintext) {
