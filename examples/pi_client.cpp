@@ -13,6 +13,10 @@
 //                              [--backend delphi|cheetah] [--noise L]
 //                              [--input-seed N] [--check --with-model]
 //
+// Exit codes: 0 success, 1 failed check, 2 usage, 3 server at capacity
+// (the server's serving pool answered with the typed BUSY frame — retry
+// later; this is load shedding, not an error in either binary).
+//
 // --check audits the private result against plaintext inference, which
 // requires a local copy of the reference model: it must be paired with
 // --with-model (the CI smoke test runs both a weightless client and a
@@ -52,8 +56,15 @@ int main(int argc, char** argv) {
     auto transport = net::connect(opts.host, opts.port, /*timeout_ms=*/30'000);
     transport->set_recv_timeout(120'000);
 
-    // Session bootstrap: the server ships its public artifact first.
-    const auto artifact_bytes = transport->recv_artifact_bytes();
+    // Session bootstrap: the server ships its public artifact first — or
+    // a BUSY frame if its serving pool is saturated.
+    std::vector<std::uint8_t> artifact_bytes;
+    try {
+        artifact_bytes = transport->recv_artifact_bytes();
+    } catch (const net::ServerBusy& e) {
+        std::fprintf(stderr, "pi_client: %s\n", e.what());
+        return 3;
+    }
     const pi::ModelArtifact artifact = pi::ModelArtifact::deserialize(artifact_bytes);
     std::printf("model artifact: %zu bytes (%lld crypto + %lld clear linear ops, %s)\n",
                 artifact_bytes.size(), static_cast<long long>(artifact.crypto_linear_ops()),

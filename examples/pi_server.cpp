@@ -1,25 +1,57 @@
-// pi_server: the model owner's half of a real two-process deployment.
+// pi_server: the model owner's half of a real two-process deployment —
+// now a CONCURRENT server.
 //
 // Compiles the demo model ONCE into an immutable pi::CompiledModel, then
-// listens on localhost TCP and serves each accepted connection with a
-// pi::ServerSession over net::TcpTransport — the same session code that
-// runs in-process in quickstart, now as its own OS process. Each session
-// starts by shipping the serialized public pi::ModelArtifact (plan,
-// boundary, formats — no weights), so the peer pi_client runs weightless.
+// listens on localhost TCP and hands every accepted connection to a
+// pi::ServingPool: N worker sessions share the one const model, bounded
+// queueing answers overload with the typed BUSY frame (the client sees
+// net::ServerBusy, not a protocol error), and shutdown drains — every
+// admitted session finishes. Each session starts by shipping the
+// serialized public pi::ModelArtifact (plan, boundary, formats — no
+// weights), so the peer pi_client runs weightless. With --tail-window,
+// sessions reaching the crypto-clear boundary within the window share
+// ONE batched plaintext tail pass across clients.
 //
 //   ./build/examples/pi_server [--port P] [--clients N] [--full-pi]
 //                              [--backend delphi|cheetah] [--noise L]
+//                              [--pool W] [--queue Q] [--tail-window MS]
 //
 // --port 0 binds an ephemeral port (the "listening on" line reports the
-// real one — scripts parse it). --clients 0 serves forever.
+// real one — scripts parse it). --clients 0 serves forever; SIGINT/
+// SIGTERM then drains in-flight sessions and prints the aggregate pool
+// stats before exiting. --pool 0 sizes the pool automatically
+// (C2PI_THREADS / hardware_concurrency).
 //
 // Peer binary: examples/pi_client.cpp. Wire format: docs/PROTOCOL.md.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 
-#include "core/stopwatch.hpp"
 #include "net/tcp.hpp"
+#include "pi/serving_pool.hpp"
 #include "remote_common.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void request_stop(int) { g_stop.store(true); }
+
+void print_pool_stats(const c2pi::pi::ServingPool::Stats& s) {
+    std::printf("pool stats: served %llu sessions (%llu rejected, %llu failed), "
+                "peak %d concurrent\n",
+                static_cast<unsigned long long>(s.served),
+                static_cast<unsigned long long>(s.rejected),
+                static_cast<unsigned long long>(s.failed), s.concurrent_peak);
+    c2pi::demo::print_stats(s.traffic);
+    if (s.tail_batches > 0)
+        std::printf("  clear tail: %llu batched passes over %llu requests\n",
+                    static_cast<unsigned long long>(s.tail_batches),
+                    static_cast<unsigned long long>(s.tail_requests));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace c2pi;
@@ -29,47 +61,80 @@ int main(int argc, char** argv) {
         if (!demo::parse_remote_flag(argc, argv, i, opts)) {
             std::fprintf(stderr,
                          "usage: pi_server [--port P] [--clients N] [--full-pi]\n"
-                         "                 [--backend delphi|cheetah] [--noise L]\n");
+                         "                 [--backend delphi|cheetah] [--noise L]\n"
+                         "                 [--pool W] [--queue Q] [--tail-window MS]\n");
             return 2;
         }
     }
 
     const nn::Sequential model = demo::make_demo_model();
     const pi::CompiledModel compiled(model, demo::demo_compile_options(opts.full_pi));
-    const pi::ServerSession session(compiled, opts.session);
-    // Serialized once; every session ships the same bytes.
-    const std::vector<std::uint8_t> artifact_bytes = compiled.artifact().serialize();
     std::printf("compiled %s model: %lld crypto + %lld clear linear ops\n",
                 opts.full_pi ? "full-PI" : "crypto-clear",
                 static_cast<long long>(compiled.crypto_linear_ops()),
                 static_cast<long long>(compiled.hidden_linear_ops()));
-    std::printf("model artifact: %zu bytes\n", artifact_bytes.size());
+
+    pi::ServingPool pool(
+        compiled, opts.session,
+        {.workers = opts.pool,
+         .queue_capacity = opts.queue,
+         .tail_window_ms = opts.tail_window_ms},
+        [](const pi::ServingPool::SessionReport& r) {
+            if (r.ok) {
+                std::printf("served client %llu in %.3f s\n",
+                            static_cast<unsigned long long>(r.index), r.stats.wall_seconds);
+                demo::print_stats(r.stats);
+            } else {
+                std::fprintf(stderr, "client %llu failed: %s\n",
+                             static_cast<unsigned long long>(r.index), r.error.c_str());
+            }
+            std::fflush(stdout);
+        });
+    std::printf("model artifact: %zu bytes\n", compiled.artifact().serialize().size());
+    std::printf("serving pool: %d workers, queue %d, tail window %d ms\n", pool.workers(),
+                opts.queue, opts.tail_window_ms);
 
     net::TcpListener listener(opts.port, opts.host);
     std::printf("listening on %s:%u\n", opts.host.c_str(), listener.port());
     std::fflush(stdout);
 
-    // Finite --clients (the CI smoke case) treats any failure as fatal so
-    // scripts see a nonzero exit; serve-forever logs and keeps accepting
-    // (a port scanner failing the handshake must not take the server down).
+    std::signal(SIGINT, request_stop);
+    std::signal(SIGTERM, request_stop);
+
+    // Finite --clients (the CI smoke case) treats an accept failure as
+    // fatal so scripts see a nonzero exit; serve-forever logs and keeps
+    // accepting (a port scanner failing the handshake must not take the
+    // server down). Either way the pool drains before exit: admitted
+    // sessions always finish.
     const bool forever = opts.clients <= 0;
-    for (int served = 0; forever || served < opts.clients; ++served) {
+    for (int accepted = 0; (forever || accepted < opts.clients) && !g_stop.load();) {
         try {
-            auto transport = listener.accept(forever ? -1 : 120'000);
-            transport->set_recv_timeout(120'000);
-            Stopwatch watch;
-            transport->send_artifact_bytes(artifact_bytes);
-            session.run(*transport);
-            auto stats = pi::stats_from_channel(transport->stats());
-            stats.wall_seconds = watch.seconds();
-            transport->close();
-            std::printf("served client %d in %.3f s\n", served + 1, stats.wall_seconds);
-            demo::print_stats(stats);
-            std::fflush(stdout);
+            // Short poll in forever mode so SIGINT/SIGTERM is honored
+            // promptly; finite mode waits out the full smoke-test budget.
+            auto transport = listener.try_accept(forever ? 250 : 120'000);
+            if (!transport) {
+                if (forever) continue;
+                std::fprintf(stderr, "timed out waiting for client %d\n", accepted + 1);
+                pool.drain();
+                return 1;
+            }
+            ++accepted;
+            (void)pool.serve(std::move(transport));  // rejection counted in stats
         } catch (const std::exception& e) {
-            std::fprintf(stderr, "client %d failed: %s\n", served + 1, e.what());
-            if (!forever) return 1;
+            std::fprintf(stderr, "accept failed: %s\n", e.what());
+            if (!forever) {
+                pool.drain();
+                return 1;
+            }
         }
     }
+
+    pool.drain();
+    const auto stats = pool.stats();
+    print_pool_stats(stats);
+    std::fflush(stdout);
+    // Finite mode promised to serve exactly --clients sessions; anything
+    // the pool refused or that died mid-protocol breaks that promise.
+    if (!forever && (stats.failed > 0 || stats.rejected > 0)) return 1;
     return 0;
 }

@@ -60,6 +60,9 @@ struct RemoteOptions {
     bool full_pi = false;
     pi::SessionConfig session{};  // backend/noise/seed: must match peer
     int clients = 1;              // server: connections to serve (0 = forever)
+    int pool = 0;                 // server: concurrent sessions (0 = auto)
+    int queue = 8;                // server: waiting connections before BUSY
+    int tail_window_ms = 0;       // server: cross-client clear-tail batching
     std::uint64_t input_seed = 100;  // client: RNG seed for the demo input
     bool check = false;              // client: verify against plaintext
     bool with_model = false;         // client: opt into local reference weights
@@ -96,6 +99,12 @@ inline bool parse_remote_flag(int argc, char** argv, int& i, RemoteOptions& o) {
         o.session.noise_lambda = std::strtof(value(), nullptr);
     } else if (flag == "--clients") {
         o.clients = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--pool") {
+        o.pool = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--queue") {
+        o.queue = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--tail-window") {
+        o.tail_window_ms = static_cast<int>(std::strtol(value(), nullptr, 10));
     } else if (flag == "--input-seed") {
         o.input_seed = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--check") {

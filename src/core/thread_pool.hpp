@@ -1,9 +1,12 @@
 #pragma once
 
 /// \file thread_pool.hpp
-/// Minimal fixed-size thread pool with a blocking `parallel_for`, sized
-/// for the HE hot loops (per-output-channel ciphertext responses, RNS
-/// limb transforms). Design constraints, in order:
+/// The two threading primitives of the serving stack: a fixed-size
+/// `ThreadPool` with a blocking `parallel_for` for compute (the HE hot
+/// loops: per-output-channel ciphertext responses, RNS limb transforms),
+/// and a `WorkQueue` of dedicated workers for long-running blocking
+/// tasks (whole serving sessions — see pi::ServingPool). ThreadPool
+/// design constraints, in order:
 ///
 ///  * determinism of the *protocol* is the caller's job — the pool only
 ///    promises that every index runs exactly once and that parallel_for
@@ -188,6 +191,104 @@ private:
     mutable std::mutex mutex_;
     mutable std::condition_variable cv_;
     mutable std::deque<std::shared_ptr<Job>> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// Fixed worker set consuming a bounded queue of long-running tasks —
+/// the serving-side complement of ThreadPool. parallel_for splits one
+/// computation across threads and blocks for all of it; a WorkQueue
+/// hands each task (an accepted connection serving a whole session,
+/// seconds of blocking protocol I/O) to one dedicated worker. Design
+/// constraints, in order:
+///
+///  * the in-flight bound counts queued AND running tasks, so a caller
+///    holding a connection gets an immediate accept/refuse answer
+///    (`try_submit`) instead of an unbounded backlog — the refusal is
+///    what pi::ServingPool turns into the wire-level BUSY frame;
+///  * `drain()` is graceful: no new submissions, every already-accepted
+///    task still runs to completion before the workers join — an
+///    in-flight session is never dropped;
+///  * tasks must not throw (serving code reports its own failures);
+///    a task that does throw terminates, by design — swallowing it
+///    here would hide a serving bug.
+class WorkQueue {
+public:
+    /// `workers` dedicated threads; up to `workers + max_pending` tasks
+    /// in flight (running + queued) before try_submit refuses.
+    WorkQueue(int workers, int max_pending)
+        : bound_(static_cast<std::size_t>(workers) + static_cast<std::size_t>(max_pending)) {
+        require(workers >= 1 && workers <= kMaxThreads,
+                "WorkQueue workers must lie in [1, 1024]");
+        require(max_pending >= 0, "WorkQueue max_pending must be >= 0");
+        workers_.reserve(static_cast<std::size_t>(workers));
+        for (int i = 0; i < workers; ++i)
+            workers_.emplace_back([this] { worker_loop(); });
+    }
+
+    ~WorkQueue() { drain(); }
+
+    WorkQueue(const WorkQueue&) = delete;
+    WorkQueue& operator=(const WorkQueue&) = delete;
+
+    [[nodiscard]] int workers() const { return static_cast<int>(workers_.size()); }
+
+    /// Queue a task unless the queue is draining or the in-flight bound
+    /// is reached; returns whether the task was accepted. An accepted
+    /// task is guaranteed to run, even if drain() is called right after.
+    [[nodiscard]] bool try_submit(std::function<void()> task) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (draining_ || in_flight_ >= bound_) return false;
+            ++in_flight_;
+            queue_.push_back(std::move(task));
+        }
+        cv_work_.notify_one();
+        return true;
+    }
+
+    /// Tasks currently queued or running.
+    [[nodiscard]] std::size_t in_flight() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return in_flight_;
+    }
+
+    /// Refuse new submissions, run everything already accepted, join the
+    /// workers. Idempotent; also run by the destructor.
+    void drain() {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            draining_ = true;
+            cv_idle_.wait(lock, [&] { return in_flight_ == 0; });
+            stop_ = true;
+        }
+        cv_work_.notify_all();
+        for (auto& w : workers_)
+            if (w.joinable()) w.join();
+    }
+
+private:
+    void worker_loop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop_ set and nothing left to run
+            auto task = std::move(queue_.front());
+            queue_.pop_front();
+            lock.unlock();
+            task();
+            lock.lock();
+            if (--in_flight_ == 0) cv_idle_.notify_all();
+        }
+    }
+
+    const std::size_t bound_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_work_;  ///< wakes workers on new tasks / stop
+    std::condition_variable cv_idle_;  ///< wakes drain() when in_flight_ hits 0
+    std::deque<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0;  ///< queued + running
+    bool draining_ = false;
     bool stop_ = false;
     std::vector<std::thread> workers_;
 };

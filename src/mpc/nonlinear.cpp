@@ -1,6 +1,7 @@
 #include "mpc/nonlinear.hpp"
 
 #include <map>
+#include <mutex>
 
 #include "crypto/circuit.hpp"
 #include "crypto/garbling.hpp"
@@ -199,12 +200,24 @@ RingTensor secure_maxpool(PartyContext& ctx, const RingTensor& x_share, std::int
 
     std::vector<Ring> result;
     if (backend == NonlinearBackend::kGarbledCircuit) {
+        // Shared across ALL sessions (the process-wide circuit cache), so
+        // lookup/build must be locked: concurrent sessions — the serving
+        // pool, the batched service, even one in-process session's two
+        // party threads — reach here simultaneously. The map's node
+        // stability keeps the returned reference valid after unlock, and
+        // a built Circuit is immutable.
+        static std::mutex circuits_mutex;
         static std::map<int, crypto::Circuit> circuits;
-        auto it = circuits.find(static_cast<int>(k2));
-        if (it == circuits.end())
-            it = circuits.emplace(static_cast<int>(k2),
-                                  crypto::build_max_circuit(64, static_cast<int>(k2))).first;
-        const crypto::Circuit& circuit = it->second;
+        const crypto::Circuit& circuit = [&]() -> const crypto::Circuit& {
+            const std::lock_guard<std::mutex> lock(circuits_mutex);
+            auto it = circuits.find(static_cast<int>(k2));
+            if (it == circuits.end())
+                it = circuits
+                         .emplace(static_cast<int>(k2),
+                                  crypto::build_max_circuit(64, static_cast<int>(k2)))
+                         .first;
+            return it->second;
+        }();
         std::vector<std::span<const Ring>> spans;
         spans.reserve(k2);
         for (const auto& lane : lanes) spans.emplace_back(lane);

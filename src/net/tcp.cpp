@@ -202,6 +202,21 @@ Phase TcpTransport::recv_frame_into(std::vector<std::uint8_t>& out, FrameType ex
         peer_shutdown_ = true;
         fail("tcp recv: peer ended the session");
     }
+    if (type == FrameType::kBusy) {
+        // Typed overload rejection (PROTOCOL.md §4): only legal from
+        // party 0, only where the ARTIFACT frame would go (the session's
+        // first frame — i.e. we are a client waiting for the artifact),
+        // and only empty. Anywhere else it is a protocol violation, not
+        // load shedding — a mid-protocol "busy" would misreport a
+        // misbehaving peer as our own capacity problem.
+        if (party_ == 1 && expected == FrameType::kArtifact && len == 0) {
+            // No more frames follow (the peer closes right after), so
+            // treat the stream as ended.
+            peer_shutdown_ = true;
+            throw ServerBusy{};
+        }
+        fail("tcp recv: illegal BUSY frame (wrong sender, position, or length)");
+    }
     if (type != FrameType::kData && type != FrameType::kArtifact)
         fail("tcp recv: unknown frame type");
     if (type != expected) {
@@ -240,6 +255,13 @@ void TcpTransport::send_artifact_bytes(std::span<const std::uint8_t> bytes) {
     send_frame(FrameType::kArtifact, phase_, bytes);
 }
 
+void TcpTransport::send_busy() {
+    require(is_open(), "tcp send: transport is closed");
+    // Unmetered like the handshake: the session it would have belonged
+    // to never starts, so there is no protocol phase to charge.
+    send_frame(FrameType::kBusy, phase_, {});
+}
+
 std::vector<std::uint8_t> TcpTransport::recv_artifact_bytes() {
     std::vector<std::uint8_t> payload;
     (void)recv_frame_into(payload, FrameType::kArtifact);
@@ -264,7 +286,9 @@ void TcpTransport::close() noexcept {
     if (fd_ < 0) return;
     // Best-effort goodbye so the peer sees a clean end-of-session, then
     // half-close and drain: waiting for the peer's EOF (or goodbye)
-    // avoids the RST-on-close race that can eat our last frame.
+    // avoids the RST-on-close race that can eat our last frame. The
+    // drain is bounded in bytes as well as per-read time so a hostile
+    // peer streaming garbage cannot pin the closing thread.
     try {
         send_frame(FrameType::kShutdown, phase_, {});
     } catch (...) {  // peer already gone; nothing to announce
@@ -274,8 +298,24 @@ void TcpTransport::close() noexcept {
     tv.tv_sec = 1;
     (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     std::uint8_t sink[4096];
-    while (::recv(fd_, sink, sizeof(sink), 0) > 0) {
+    std::size_t drained = 0;
+    constexpr std::size_t kMaxDrainBytes = 1U << 20;
+    for (;;) {
+        const ssize_t n = ::recv(fd_, sink, sizeof(sink), 0);
+        if (n <= 0) break;
+        drained += static_cast<std::size_t>(n);
+        if (drained >= kMaxDrainBytes) break;
     }
+    close_quietly(fd_);
+}
+
+void TcpTransport::close_now() noexcept {
+    if (fd_ < 0) return;
+    try {
+        send_frame(FrameType::kShutdown, phase_, {});
+    } catch (...) {  // peer already gone; nothing to announce
+    }
+    (void)::shutdown(fd_, SHUT_WR);
     close_quietly(fd_);
 }
 
@@ -305,6 +345,12 @@ TcpListener::TcpListener(std::uint16_t port, const std::string& host) {
 TcpListener::~TcpListener() { close(); }
 
 std::unique_ptr<TcpTransport> TcpListener::accept(int timeout_ms) {
+    auto transport = try_accept(timeout_ms);
+    if (!transport) fail("tcp accept: timed out waiting for a client");
+    return transport;
+}
+
+std::unique_ptr<TcpTransport> TcpListener::try_accept(int timeout_ms) {
     require(fd_ >= 0, "accept: listener is closed");
     pollfd pfd{fd_, POLLIN, 0};
     for (;;) {
@@ -313,7 +359,7 @@ std::unique_ptr<TcpTransport> TcpListener::accept(int timeout_ms) {
             if (errno == EINTR) continue;
             fail_errno("tcp accept: poll");
         }
-        if (r == 0) fail("tcp accept: timed out waiting for a client");
+        if (r == 0) return nullptr;
         break;
     }
     const int client = ::accept(fd_, nullptr, nullptr);

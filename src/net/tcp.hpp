@@ -44,7 +44,15 @@ inline constexpr std::uint32_t kMaxFramePayload = 1U << 30;
 /// demand a gigabyte first.
 inline constexpr std::uint32_t kMaxArtifactPayload = 1U << 20;
 
-enum class FrameType : std::uint8_t { kData = 1, kShutdown = 2, kArtifact = 3 };
+enum class FrameType : std::uint8_t { kData = 1, kShutdown = 2, kArtifact = 3, kBusy = 4 };
+
+/// Typed overload rejection: the server refused the session before it
+/// began because its serving pool is saturated (BUSY frame,
+/// docs/PROTOCOL.md §4). Distinct from Error so a client can tell "come
+/// back later" apart from a protocol failure.
+struct ServerBusy final : Error {
+    ServerBusy() : Error("tcp recv: server is at capacity (BUSY frame) - retry later") {}
+};
 
 /// One party's endpoint of a TCP connection. Obtain via TcpListener
 /// (server, party 0) or connect() (client, party 1); the constructor
@@ -77,14 +85,29 @@ public:
     void send_artifact_bytes(std::span<const std::uint8_t> bytes) override;
     [[nodiscard]] std::vector<std::uint8_t> recv_artifact_bytes() override;
 
+    /// Overload rejection: send a BUSY frame in place of the session's
+    /// ARTIFACT frame (docs/PROTOCOL.md §4), telling the peer the server
+    /// is at capacity. Caller follows up with close(); the peer's
+    /// pending recv raises ServerBusy.
+    void send_busy();
+
     /// Abort a `recv_bytes` blocked longer than this (0 restores
     /// blocking forever). Protects servers from stalled peers.
     void set_recv_timeout(int milliseconds);
 
     /// Graceful shutdown: send a kShutdown frame, half-close, drain the
-    /// peer's remaining bytes, close. Idempotent; also run (with errors
-    /// swallowed) by the destructor.
+    /// peer's remaining bytes (bounded — a hostile streamer cannot pin
+    /// us here), close. Idempotent; also run (with errors swallowed) by
+    /// the destructor.
     void close() noexcept;
+
+    /// Immediate shutdown: the goodbye frame and half-close, but no
+    /// drain. Only safe when the peer cannot have unsent-but-unread data
+    /// in our receive buffer — the overload-rejection path qualifies
+    /// (the peer has sent nothing past the handshake we already read),
+    /// and skipping the drain keeps a rejection from stalling the accept
+    /// loop on a slow peer. Idempotent with close().
+    void close_now() noexcept;
     [[nodiscard]] bool is_open() const { return fd_ >= 0; }
 
 private:
@@ -119,6 +142,11 @@ public:
     /// Accept one client and complete the handshake as party 0.
     /// `timeout_ms` < 0 blocks indefinitely; on timeout throws c2pi::Error.
     [[nodiscard]] std::unique_ptr<TcpTransport> accept(int timeout_ms = -1);
+
+    /// Like accept(), but a timeout returns nullptr instead of throwing —
+    /// the shape an accept loop wants when it must periodically check a
+    /// stop flag (pi_server's serve-forever mode under SIGINT/SIGTERM).
+    [[nodiscard]] std::unique_ptr<TcpTransport> try_accept(int timeout_ms);
 
     void close() noexcept;
 

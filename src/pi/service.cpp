@@ -1,63 +1,14 @@
 #include "pi/service.hpp"
 
-#include <condition_variable>
-#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "core/stopwatch.hpp"
+#include "pi/tail_batch.hpp"
 
 namespace c2pi::pi {
 
 namespace {
-
-/// Rendezvous for the batched clear tail: every server session deposits
-/// its revealed boundary activation; the last arrival runs ONE batched
-/// plaintext pass and wakes the rest, which pick up their row.
-struct TailBatch {
-    /// Secondary failure: a sibling request died, so the rendezvous can
-    /// never complete. Distinct from Error so the batch can surface the
-    /// sibling's root cause instead of this consequence.
-    struct Aborted final : Error {
-        Aborted() : Error("batched clear tail aborted: a sibling request failed") {}
-    };
-
-    std::mutex mutex;
-    std::condition_variable cv;
-    Tensor activations;  ///< [N, ...boundary shape]
-    Tensor logits;       ///< [N, classes] once done
-    std::size_t expected = 0;
-    std::size_t arrived = 0;
-    bool done = false;
-    bool failed = false;
-
-    void abort() {
-        {
-            const std::lock_guard<std::mutex> lock(mutex);
-            failed = true;
-        }
-        cv.notify_all();
-    }
-
-    Tensor deposit_and_wait(const CompiledModel& cm, std::size_t slot, const Tensor& act) {
-        std::unique_lock<std::mutex> lock(mutex);
-        const std::int64_t per = act.numel();
-        for (std::int64_t j = 0; j < per; ++j)
-            activations[static_cast<std::int64_t>(slot) * per + j] = act[j];
-        if (++arrived == expected) {
-            logits = cm.run_clear_tail(activations);  // the single batched pass
-            done = true;
-            cv.notify_all();
-        } else {
-            cv.wait(lock, [&] { return done || failed; });
-            if (!done) throw Aborted{};
-        }
-        const std::int64_t classes = logits.dim(1);
-        Tensor row({1, classes});
-        for (std::int64_t j = 0; j < classes; ++j)
-            row[j] = logits.at(static_cast<std::int64_t>(slot), j);
-        return row;
-    }
-};
 
 /// Upper bound on a tail-rendezvous group: every request in a group runs
 /// concurrently (three threads each), so this caps thread usage while a
@@ -86,12 +37,12 @@ InferenceService::BatchResult InferenceService::run_batch(std::span<const Tensor
     // an unbounded number of OS threads.
     const bool batched_tail = !cm.full_pi();
     const auto serve_group = [&](std::size_t begin, std::size_t count) {
-        TailBatch tail_batch;
-        if (batched_tail) {
-            tail_batch.expected = count;
-            tail_batch.activations =
-                Tensor(cm.batched_boundary_shape(static_cast<std::int64_t>(count)));
-        }
+        // Fixed-size rendezvous: the batch size is known up front, so the
+        // group waits for all of it and runs ONE clear-tail pass
+        // (tail_batch.hpp; the serving pool shares the same batcher in
+        // its windowed mode).
+        std::optional<TailBatcher> tail_batch;
+        if (batched_tail) tail_batch.emplace(cm, TailBatcher::Fixed{count});
         std::vector<net::DuplexChannel> channels(count);
         std::vector<std::exception_ptr> errors(count);
         std::vector<std::thread> workers;
@@ -108,7 +59,7 @@ InferenceService::BatchResult InferenceService::run_batch(std::span<const Tensor
                         [&](net::Transport& t) {
                             if (batched_tail) {
                                 server.run(t, [&](const Tensor& act) {
-                                    return tail_batch.deposit_and_wait(cm, g, act);
+                                    return tail_batch->run(act);
                                 });
                             } else {
                                 server.run(t);
@@ -122,7 +73,7 @@ InferenceService::BatchResult InferenceService::run_batch(std::span<const Tensor
                     res.hidden_linear_ops = cm.hidden_linear_ops();
                 } catch (...) {
                     errors[g] = std::current_exception();
-                    if (batched_tail) tail_batch.abort();
+                    if (batched_tail) tail_batch->abort();
                 }
             });
         }
@@ -135,7 +86,7 @@ InferenceService::BatchResult InferenceService::run_batch(std::span<const Tensor
             if (!first) first = e;
             try {
                 std::rethrow_exception(e);
-            } catch (const TailBatch::Aborted&) {
+            } catch (const TailBatcher::Aborted&) {
                 continue;  // consequence, keep looking for the cause
             } catch (...) {
                 throw;

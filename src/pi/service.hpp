@@ -9,6 +9,9 @@
 /// concurrently), but the revealed clear-layer tail — plain float compute
 /// on the server — is coalesced into ONE batched plaintext pass: the
 /// paper's crypto-clear split makes the server tail trivially batchable.
+/// The rendezvous is a fixed-group `pi::TailBatcher` (tail_batch.hpp);
+/// `pi::ServingPool` (serving_pool.hpp) shares the same batcher in its
+/// windowed mode to coalesce tails across independent TCP clients.
 
 #include <span>
 

@@ -136,6 +136,47 @@ TEST(TcpTransport, CleanShutdownThrowsTypedErrorOnPendingRecv) {
     }
 }
 
+TEST(TcpTransport, BusyFrameIsTypedAtSessionStartOnly) {
+    // Legal (PROTOCOL.md §4): BUSY in place of the ARTIFACT frame is the
+    // typed load-shedding signal.
+    (void)run_loopback([](TcpTransport& t) { t.send_busy(); },
+                       [](TcpTransport& t) {
+                           EXPECT_THROW((void)t.recv_artifact_bytes(), ServerBusy);
+                       });
+
+    // Illegal position: BUSY mid-protocol is a violation, not load
+    // shedding — it must NOT surface as the typed ServerBusy.
+    (void)run_loopback(
+        [](TcpTransport& t) {
+            t.send_bytes(std::vector<std::uint8_t>{1, 2, 3});
+            t.send_busy();
+        },
+        [](TcpTransport& t) {
+            (void)t.recv_bytes();
+            try {
+                (void)t.recv_bytes();
+                FAIL() << "mid-protocol BUSY must raise";
+            } catch (const ServerBusy&) {
+                FAIL() << "mid-protocol BUSY must not read as load shedding";
+            } catch (const Error&) {  // expected: protocol violation
+            }
+        });
+
+    // Illegal sender: only party 0 sheds load; a client claiming "busy"
+    // is a misbehaving peer.
+    (void)run_loopback(
+        [](TcpTransport& t) {
+            try {
+                (void)t.recv_bytes();
+                FAIL() << "BUSY from party 1 must raise";
+            } catch (const ServerBusy&) {
+                FAIL() << "BUSY from party 1 must not read as load shedding";
+            } catch (const Error&) {  // expected: protocol violation
+            }
+        },
+        [](TcpTransport& t) { t.send_busy(); });
+}
+
 TEST(TcpTransport, RejectsNonC2piPeer) {
     // A peer speaking the wrong protocol (bad magic) is rejected during
     // the handshake, before any protocol data is exchanged.
