@@ -2,7 +2,8 @@
 // substrates — not a paper artifact, but the per-primitive costs that
 // explain Table II: NTT, BFV ops, the HE linear-layer server hot loops
 // (seed path vs compiled PlainNtt cache), garbled-circuit ReLU, the OT
-// millionaire DReLU, IKNP throughput, and the float conv kernel.
+// millionaire DReLU, the DCF evaluation and per-backend online ReLU of
+// the FSS subsystem, IKNP throughput, and the float conv kernel.
 //
 // Set C2PI_BENCH_JSON=<path> to also write the results as JSON
 // (google-benchmark's native format); C2PI_FAST=1 shrinks min-time for
@@ -18,6 +19,7 @@
 #include "crypto/garbling.hpp"
 #include "crypto/hash.hpp"
 #include "crypto/ot.hpp"
+#include "fss/compare.hpp"
 #include "he/bfv.hpp"
 #include "mpc/linear.hpp"
 #include "mpc/nonlinear.hpp"
@@ -291,6 +293,79 @@ void BM_SecureReluBatch(benchmark::State& state) {
 }
 // Arg 0 = garbled-circuit backend (Delphi), arg 1 = OT millionaire (Cheetah).
 BENCHMARK(BM_SecureReluBatch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_DcfEval(benchmark::State& state) {
+    // One local DCF evaluation (depth-64 GGM walk): the per-element
+    // online compute of the kFss backend, with no transport involved.
+    crypto::ChaCha20Prg prg(crypto::Block128{21, 22});
+    const auto keys = fss::dcf_gen(prg.next_u64(), fss::DcfPayload{1, prg.next_u64()}, prg);
+    Ring x = prg.next_u64();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fss::dcf_eval(keys.k0, 0, x));
+        x += 0x9E3779B97F4A7C15ULL;  // cover the domain, defeat caching
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DcfEval);
+
+/// Online-phase cost of one batched secure ReLU per backend. For kFss
+/// the DCF key material is generated ONCE outside the timed region and
+/// pushed into both parties' pools each iteration (a deployment ships it
+/// in the preprocessing phase), so the measurement isolates the online
+/// round; GC has no preprocessing, so its online time includes garbling,
+/// exactly as deployed.
+void bench_relu_online(benchmark::State& state, mpc::NonlinearBackend backend) {
+    const std::size_t n = 1024;
+    const FixedPointFormat fmt{.frac_bits = 16};
+    const he::BfvContext bfv({.n = 256, .limbs = 4});
+    Rng rng(13);
+    std::vector<Ring> v0(n), v1(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Ring val = fmt.encode(rng.uniform(-2.0F, 2.0F));
+        v0[i] = rng.next_u64();
+        v1[i] = val - v0[i];
+    }
+    std::vector<fss::ReluKeyShare> server_keys, client_keys;
+    if (backend == mpc::NonlinearBackend::kFss) {
+        crypto::ChaCha20Prg dealer(crypto::Block128{23, 24});
+        for (std::size_t i = 0; i < n; ++i) {
+            auto pair = fss::gen_relu_material(dealer);
+            server_keys.push_back(std::move(pair.server));
+            client_keys.push_back(std::move(pair.client));
+        }
+    }
+    std::uint64_t online_bytes = 0;
+    for (auto _ : state) {
+        net::DuplexChannel channel;
+        net::run_two_party(
+            channel,
+            [&](net::Transport& t) {
+                mpc::PartyContext ctx(t, fmt, bfv, crypto::Block128{1, 1});
+                if (!server_keys.empty()) ctx.fss_pool().push(server_keys);
+                benchmark::DoNotOptimize(mpc::secure_relu(ctx, v0, backend));
+            },
+            [&](net::Transport& t) {
+                mpc::PartyContext ctx(t, fmt, bfv, crypto::Block128{1, 1});
+                if (!client_keys.empty()) ctx.fss_pool().push(client_keys);
+                benchmark::DoNotOptimize(mpc::secure_relu(ctx, v1, backend));
+            });
+        online_bytes = channel.stats().phase_bytes(net::Phase::kOnline);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.counters["online_bytes_per_relu"] =
+        static_cast<double>(online_bytes) / static_cast<double>(n);
+}
+
+void BM_ReluOnlineGc(benchmark::State& state) {
+    bench_relu_online(state, mpc::NonlinearBackend::kGarbledCircuit);
+}
+BENCHMARK(BM_ReluOnlineGc)->Unit(benchmark::kMillisecond);
+
+void BM_ReluOnlineFss(benchmark::State& state) {
+    bench_relu_online(state, mpc::NonlinearBackend::kFss);
+}
+BENCHMARK(BM_ReluOnlineFss)->Unit(benchmark::kMillisecond);
 
 void BM_IknpRandomOt(benchmark::State& state) {
     const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
         if (!demo::parse_remote_flag(argc, argv, i, opts)) {
             std::fprintf(stderr,
                          "usage: pi_client [--host H] [--port P]\n"
-                         "                 [--backend delphi|cheetah] [--noise L]\n"
-                         "                 [--input-seed N] [--check --with-model]\n");
+                         "                 [--backend delphi|cheetah] [--nonlinear gc|ot|fss]\n"
+                         "                 [--noise L] [--input-seed N] [--check --with-model]\n");
             return 2;
         }
     }
@@ -66,10 +66,14 @@ int main(int argc, char** argv) {
         return 3;
     }
     const pi::ModelArtifact artifact = pi::ModelArtifact::deserialize(artifact_bytes);
-    std::printf("model artifact: %zu bytes (%lld crypto + %lld clear linear ops, %s)\n",
+    std::printf("model artifact: %zu bytes (%lld crypto + %lld clear linear ops, %s)   "
+                "nonlinear backend: %s\n",
                 artifact_bytes.size(), static_cast<long long>(artifact.crypto_linear_ops()),
                 static_cast<long long>(artifact.hidden_linear_ops()),
-                artifact.full_pi ? "full PI" : "crypto-clear");
+                artifact.full_pi ? "full PI" : "crypto-clear",
+                opts.session.nonlinear.has_value()
+                    ? pi::nonlinear_name(*opts.session.nonlinear)
+                    : "server's choice");
     const pi::ClientModel client_model(artifact);
     const pi::ClientSession session(client_model, opts.session);
 

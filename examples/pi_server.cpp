@@ -61,8 +61,8 @@ int main(int argc, char** argv) {
         if (!demo::parse_remote_flag(argc, argv, i, opts)) {
             std::fprintf(stderr,
                          "usage: pi_server [--port P] [--clients N] [--full-pi]\n"
-                         "                 [--backend delphi|cheetah] [--noise L]\n"
-                         "                 [--pool W] [--queue Q] [--tail-window MS]\n");
+                         "                 [--backend delphi|cheetah] [--nonlinear gc|ot|fss]\n"
+                         "                 [--noise L] [--pool W] [--queue Q] [--tail-window MS]\n");
             return 2;
         }
     }
@@ -90,7 +90,9 @@ int main(int argc, char** argv) {
             }
             std::fflush(stdout);
         });
-    std::printf("model artifact: %zu bytes\n", compiled.artifact().serialize().size());
+    std::printf("model artifact: %zu bytes   nonlinear backend: %s\n",
+                compiled.artifact().serialize().size(),
+                pi::nonlinear_name(pi::resolve_nonlinear(opts.session)));
     std::printf("serving pool: %d workers, queue %d, tail window %d ms\n", pool.workers(),
                 opts.queue, opts.tail_window_ms);
 

@@ -13,7 +13,11 @@
 //
 // The two processes must agree on the SessionConfig; pass the same
 // --backend/--noise flags to both (--full-pi is a server-side compile
-// choice the client learns from the artifact).
+// choice the client learns from the artifact). --nonlinear is server-
+// authoritative: the server announces its resolved choice at session
+// start, a client that omits the flag adopts it, and a client that
+// passes a conflicting flag fails with a typed NonlinearMismatch error
+// instead of hanging mid-protocol.
 
 #include <cstdio>
 #include <cstdlib>
@@ -95,6 +99,18 @@ inline bool parse_remote_flag(int argc, char** argv, int& i, RemoteOptions& o) {
             std::fprintf(stderr, "unknown backend '%s' (delphi|cheetah)\n", b.c_str());
             std::exit(2);
         }
+    } else if (flag == "--nonlinear") {
+        const std::string b = value();
+        if (b == "gc") {
+            o.session.nonlinear = mpc::NonlinearBackend::kGarbledCircuit;
+        } else if (b == "ot") {
+            o.session.nonlinear = mpc::NonlinearBackend::kOtMillionaire;
+        } else if (b == "fss") {
+            o.session.nonlinear = mpc::NonlinearBackend::kFss;
+        } else {
+            std::fprintf(stderr, "unknown nonlinear backend '%s' (gc|ot|fss)\n", b.c_str());
+            std::exit(2);
+        }
     } else if (flag == "--noise") {
         o.session.noise_lambda = std::strtof(value(), nullptr);
     } else if (flag == "--clients") {
@@ -118,9 +134,12 @@ inline bool parse_remote_flag(int argc, char** argv, int& i, RemoteOptions& o) {
 }
 
 inline void print_stats(const pi::PiStats& s) {
-    std::printf("  traffic: %.2f KiB offline + %.2f KiB online   flights: %llu + %llu\n",
+    std::printf("  traffic: %.2f KiB preproc + %.2f KiB offline + %.2f KiB online   "
+                "flights: %llu + %llu + %llu\n",
+                static_cast<double>(s.preprocess_bytes) / 1024.0,
                 static_cast<double>(s.offline_bytes) / 1024.0,
                 static_cast<double>(s.online_bytes) / 1024.0,
+                static_cast<unsigned long long>(s.preprocess_flights),
                 static_cast<unsigned long long>(s.offline_flights),
                 static_cast<unsigned long long>(s.online_flights));
 }

@@ -11,13 +11,17 @@
 # Run by CI and registered as the `smoke_tcp` ctest; also runnable by
 # hand:
 #
-#   scripts/smoke_tcp.sh [path/to/build/examples]
+#   scripts/smoke_tcp.sh [path/to/build/examples] [extra flags...]
 #
-# Uses an ephemeral port (the server's "listening on" line reports it),
-# so parallel runs cannot collide.
+# Flags after the bin dir are passed through to BOTH binaries (e.g.
+# `--nonlinear fss` exercises the FSS preprocessing path end to end —
+# the smoke_tcp_fss ctest). Uses an ephemeral port (the server's
+# "listening on" line reports it), so parallel runs cannot collide.
 set -euo pipefail
 
 bin_dir=${1:-build/examples}
+shift $(( $# > 0 ? 1 : 0 ))
+extra=("$@")
 server_bin=$bin_dir/pi_server
 client_bin=$bin_dir/pi_client
 [[ -x $server_bin && -x $client_bin ]] || {
@@ -47,7 +51,7 @@ grep -q "with-model" "$noweights_log" || {
     exit 1
 }
 
-"$server_bin" --port 0 --clients 2 >"$server_log" 2>&1 &
+"$server_bin" --port 0 --clients 2 ${extra[@]+"${extra[@]}"} >"$server_log" 2>&1 &
 server_pid=$!
 
 port=
@@ -61,11 +65,11 @@ done
 
 # (a) the deployed default: a weightless client, artifact over the wire.
 client_rc=0
-"$client_bin" --port "$port" >"$client_log" 2>&1 || client_rc=$?
+"$client_bin" --port "$port" ${extra[@]+"${extra[@]}"} >"$client_log" 2>&1 || client_rc=$?
 
 # (b) the opt-in audit: local reference weights, plaintext comparison.
 audit_rc=0
-"$client_bin" --port "$port" --check --with-model >"$check_log" 2>&1 || audit_rc=$?
+"$client_bin" --port "$port" --check --with-model ${extra[@]+"${extra[@]}"} >"$check_log" 2>&1 || audit_rc=$?
 
 server_rc=0
 wait "$server_pid" || server_rc=$?

@@ -1,0 +1,118 @@
+#include "fss/compare.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+#include "fss/key_pool.hpp"
+#include "net/transport.hpp"
+
+namespace c2pi::fss {
+
+namespace {
+
+constexpr Ring kHalfRing = Ring{1} << 63;
+
+void put_u64(std::uint8_t* out, std::uint64_t v) { std::memcpy(out, &v, 8); }
+std::uint64_t get_u64(const std::uint8_t* in) {
+    std::uint64_t v;
+    std::memcpy(&v, in, 8);
+    return v;
+}
+
+}  // namespace
+
+ReluKeyPair gen_relu_material(crypto::ChaCha20Prg& prg) {
+    const Ring r = prg.next_u64();
+    const bool wrap = r >= kHalfRing;
+    const DcfPayload beta{1, r};
+    // Interval containment: 1{(z-r) mod 2^64 in [0, 2^63)} equals
+    // DCF_{r+2^63}(z) - DCF_r(z) + wrap, case-checked for both wrap
+    // values; the payload's second lane carries the same identity
+    // multiplied by r.
+    const DcfKeyPair pair_a = dcf_gen(r, beta, prg);
+    const DcfKeyPair pair_b = dcf_gen(r + kHalfRing, beta, prg);
+
+    ReluKeyPair out;
+    out.server.key_a = pair_a.k0;
+    out.server.key_b = pair_b.k0;
+    out.client.key_a = pair_a.k1;
+    out.client.key_b = pair_b.k1;
+
+    out.server.r_share = prg.next_u64();
+    out.client.r_share = r - out.server.r_share;
+    const Ring wrap_u = wrap ? Ring{1} : Ring{0};
+    const Ring wrap_v = wrap ? r : Ring{0};
+    out.server.u_const = prg.next_u64();
+    out.client.u_const = wrap_u - out.server.u_const;
+    out.server.v_const = prg.next_u64();
+    out.client.v_const = wrap_v - out.server.v_const;
+    return out;
+}
+
+Ring eval_relu(const ReluKeyShare& key, int party, Ring z) {
+    const DcfPayload d =
+        dcf_eval(key.key_b, party, z) - dcf_eval(key.key_a, party, z);
+    const Ring u = d.u + key.u_const;  // share of the drelu bit 1{y >= 0}
+    const Ring v = d.v + key.v_const;  // share of drelu * r
+    return z * u - v;                  // shares of drelu * (z - r) = ReLU(y)
+}
+
+// ------------------------------------------------------------------- codec ---
+
+std::vector<std::uint8_t> serialize_batch(const std::vector<ReluKeyShare>& keys) {
+    std::vector<std::uint8_t> out(keys.size() * ReluKeyShare::kSerializedBytes);
+    std::uint8_t* p = out.data();
+    for (const auto& key : keys) {
+        put_u64(p, key.r_share);
+        put_u64(p + 8, key.u_const);
+        put_u64(p + 16, key.v_const);
+        key.key_a.serialize_into(p + 24);
+        key.key_b.serialize_into(p + 24 + DcfKey::kSerializedBytes);
+        p += ReluKeyShare::kSerializedBytes;
+    }
+    return out;
+}
+
+std::vector<ReluKeyShare> deserialize_batch(const std::vector<std::uint8_t>& bytes) {
+    require(bytes.size() % ReluKeyShare::kSerializedBytes == 0,
+            "fss key batch: payload is not a whole number of key records");
+    std::vector<ReluKeyShare> keys(bytes.size() / ReluKeyShare::kSerializedBytes);
+    const std::uint8_t* p = bytes.data();
+    for (auto& key : keys) {
+        key.r_share = get_u64(p);
+        key.u_const = get_u64(p + 8);
+        key.v_const = get_u64(p + 16);
+        key.key_a = DcfKey::deserialize(p + 24);
+        key.key_b = DcfKey::deserialize(p + 24 + DcfKey::kSerializedBytes);
+        p += ReluKeyShare::kSerializedBytes;
+    }
+    return keys;
+}
+
+// ---------------------------------------------------------------- shipment ---
+
+void dealer_replenish(net::Transport& transport, crypto::ChaCha20Prg& prg, KeyPool& pool,
+                      std::size_t count) {
+    if (count == 0) return;
+    std::vector<ReluKeyShare> mine;
+    std::vector<ReluKeyShare> theirs;
+    mine.reserve(count);
+    theirs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        ReluKeyPair pair = gen_relu_material(prg);
+        mine.push_back(std::move(pair.server));
+        theirs.push_back(std::move(pair.client));
+    }
+    transport.send_keys_bytes(serialize_batch(theirs));
+    pool.push(std::move(mine));
+}
+
+void client_replenish(net::Transport& transport, KeyPool& pool, std::size_t count) {
+    if (count == 0) return;
+    auto batch = deserialize_batch(transport.recv_keys_bytes());
+    require(batch.size() == count,
+            "fss key batch: shipped key count does not match the plan-derived schedule");
+    pool.push(std::move(batch));
+}
+
+}  // namespace c2pi::fss

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file compare.hpp
+/// FSS ReLU material: interval-containment comparison built from DCF
+/// pairs, plus the dealer/client shipment protocol.
+///
+/// The kFss backend computes ReLU(y) on an additively shared y with one
+/// reconstruction round and local DCF evaluations. Per comparison the
+/// dealer (the server, DESIGN.md §4) samples a random mask r and builds:
+///
+///   - K_a  = DCF key pair for alpha = r            with payload (1, r)
+///   - K_b  = DCF key pair for alpha = r + 2^63     with payload (1, r)
+///   - additive shares of r and of wrap*(1, r), wrap = 1{r >= 2^63}
+///
+/// Online, the parties reveal z = y + r (each sends its share of
+/// y + r in the same round as the existing reveal_shares), then locally
+///
+///   (u_p, v_p) = Eval(K_b, p, z) - Eval(K_a, p, z) + wrap-constant_p
+///   out_p      = z * u_p - v_p
+///
+/// which sums to 1{z - r in [0, 2^63)} * (z - r) = ReLU(y), matching
+/// the signed drelu semantics b = 1{y >= 0}. Keys are input-independent,
+/// so generation and shipment hoist into the preprocessing phase
+/// (key_pool.hpp buffers batches; the transport's KEYS frames carry the
+/// client halves).
+
+#include <cstdint>
+#include <vector>
+
+#include "fss/dcf.hpp"
+
+namespace c2pi::net {
+class Transport;
+}
+
+namespace c2pi::fss {
+
+class KeyPool;
+
+/// One party's material for one FSS ReLU comparison.
+struct ReluKeyShare {
+    Ring r_share = 0;   ///< additive share of the mask r
+    Ring u_const = 0;   ///< share of wrap * 1
+    Ring v_const = 0;   ///< share of wrap * r
+    DcfKey key_a;       ///< DCF at alpha = r
+    DcfKey key_b;       ///< DCF at alpha = r + 2^63
+
+    static constexpr std::size_t kSerializedBytes = 8 + 8 + 8 + 2 * DcfKey::kSerializedBytes;
+};
+
+/// Both parties' halves of one comparison's material.
+struct ReluKeyPair {
+    ReluKeyShare server;  ///< party 0 half
+    ReluKeyShare client;  ///< party 1 half
+};
+
+/// Dealer-side generation of one comparison's material. `prg` supplies
+/// every random choice (mask, share splits, DCF root seeds).
+[[nodiscard]] ReluKeyPair gen_relu_material(crypto::ChaCha20Prg& prg);
+
+/// Local online evaluation: given this party's key share and the
+/// reconstructed masked value z = y + r, return this party's additive
+/// share of ReLU(y).
+[[nodiscard]] Ring eval_relu(const ReluKeyShare& key, int party, Ring z);
+
+/// Batch codec for KEYS-frame shipment. Layout: count * kSerializedBytes,
+/// keys back to back (r_share | u_const | v_const | key_a | key_b, all
+/// little-endian).
+[[nodiscard]] std::vector<std::uint8_t> serialize_batch(const std::vector<ReluKeyShare>& keys);
+/// Rejects a payload whose size is not an exact multiple of the record
+/// size with a typed c2pi::Error (truncated shipment, corrupt frame).
+[[nodiscard]] std::vector<ReluKeyShare> deserialize_batch(const std::vector<std::uint8_t>& bytes);
+
+/// Dealer side of one replenish round: generate `count` comparisons,
+/// ship the client halves in one KEYS frame, push the server halves into
+/// `pool`. No-op when count == 0 (no frame on the wire, so the client
+/// must compute the same count and skip its recv symmetrically).
+void dealer_replenish(net::Transport& transport, crypto::ChaCha20Prg& prg, KeyPool& pool,
+                      std::size_t count);
+
+/// Client side: receive one KEYS frame and pool the shipped halves;
+/// throws if the batch size differs from the expected `count` (the two
+/// sides must agree on the plan-derived schedule). No-op when count == 0.
+void client_replenish(net::Transport& transport, KeyPool& pool, std::size_t count);
+
+}  // namespace c2pi::fss

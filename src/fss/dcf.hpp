@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file dcf.hpp
+/// Distributed comparison function (DCF) over the 64-bit ring — the
+/// function-secret-sharing primitive behind the kFss nonlinear backend.
+///
+/// A DCF for (alpha, beta) splits the comparison function
+///     f(x) = beta if x < alpha else 0        (unsigned, over Z_{2^64})
+/// into two keys k0, k1 such that Eval(0, k0, x) + Eval(1, k1, x) = f(x)
+/// for every x, while either key alone reveals nothing about alpha or
+/// beta. The construction is the GGM-tree DCF of Boyle et al.
+/// (EUROCRYPT 2021, "Function Secret Sharing for Mixed-Mode and
+/// Fixed-Point Secure Computation"): one 128-bit seed per party walks a
+/// depth-64 binary tree, with one correction word per level plus a final
+/// output correction. Keys are input-independent, so generation hoists
+/// into the preprocessing phase (compare.hpp builds ReLU material from
+/// pairs of DCFs; key_pool.hpp buffers shipped batches).
+///
+/// The payload group is Z_{2^64} x Z_{2^64} (`DcfPayload`): the interval-
+/// containment trick needs shares of both the predicate bit and
+/// predicate*mask, and one 128-bit PRG block converts to exactly one
+/// payload. The per-node PRG is one ChaCha20 block (64 bytes -> left/
+/// right child seeds + left/right payload converts), reusing the repo's
+/// existing primitive.
+
+#include <array>
+#include <cstdint>
+
+#include "core/fixed_point.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace c2pi::fss {
+
+inline constexpr int kDomainBits = 64;
+
+/// Element of the DCF payload group Z_{2^64} x Z_{2^64}, componentwise
+/// addition. `u` carries the comparison predicate, `v` carries
+/// predicate * mask (see compare.hpp).
+struct DcfPayload {
+    Ring u = 0;
+    Ring v = 0;
+
+    friend DcfPayload operator+(const DcfPayload& a, const DcfPayload& b) {
+        return {a.u + b.u, a.v + b.v};
+    }
+    friend DcfPayload operator-(const DcfPayload& a, const DcfPayload& b) {
+        return {a.u - b.u, a.v - b.v};
+    }
+    DcfPayload& operator+=(const DcfPayload& b) {
+        u += b.u;
+        v += b.v;
+        return *this;
+    }
+    [[nodiscard]] DcfPayload negated() const { return {Ring{0} - u, Ring{0} - v}; }
+    friend bool operator==(const DcfPayload&, const DcfPayload&) = default;
+};
+
+/// One party's half of a DCF: the root seed plus per-level correction
+/// words. The party id (0 or 1) is NOT part of the key — Eval takes it
+/// explicitly, matching the server/client roles of the session.
+struct DcfKey {
+    crypto::Block128 root;
+    std::array<crypto::Block128, kDomainBits> seed_cw;
+    std::array<DcfPayload, kDomainBits> value_cw;
+    std::uint64_t t_cw_left = 0;   ///< bit i = level i's left control correction
+    std::uint64_t t_cw_right = 0;  ///< bit i = level i's right control correction
+    DcfPayload final_cw;
+
+    /// Fixed serialized size (codec in dcf.cpp): root + per-level seed and
+    /// value corrections + packed control bits + final correction.
+    static constexpr std::size_t kSerializedBytes =
+        16 + kDomainBits * 16 + kDomainBits * 16 + 8 + 8 + 16;
+
+    void serialize_into(std::uint8_t* out) const;
+    [[nodiscard]] static DcfKey deserialize(const std::uint8_t* in);
+};
+
+struct DcfKeyPair {
+    DcfKey k0, k1;
+};
+
+/// Generate a DCF key pair for f(x) = beta if x < alpha else 0. `prg`
+/// supplies the two root seeds (the dealer's local randomness; in the
+/// session protocol the server plays dealer, DESIGN.md §4).
+[[nodiscard]] DcfKeyPair dcf_gen(Ring alpha, const DcfPayload& beta, crypto::ChaCha20Prg& prg);
+
+/// Evaluate one party's key share at x; the two parties' results sum to
+/// f(x) in the payload group.
+[[nodiscard]] DcfPayload dcf_eval(const DcfKey& key, int party, Ring x);
+
+}  // namespace c2pi::fss

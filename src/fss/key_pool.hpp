@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file key_pool.hpp
+/// Buffer of preprocessed FSS ReLU key material, one per session party.
+///
+/// The preprocessing phase fills the pool with one `ReluKeyShare` per
+/// upcoming comparison (sized from the compiled layer plan); the online
+/// nonlinear layers drain it FIFO. Both parties' pools stay equal-sized
+/// by construction — prefill counts derive from the shared plan and
+/// every secure_relu consumes and replenishes symmetrically — so the
+/// dealer never has to signal "which key is next".
+///
+/// Mutex-guarded: a session runs its protocol on one thread, but pools
+/// live inside PartyContext which the serving pool exercises under TSan,
+/// and a cheap uncontended lock keeps the invariant local.
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/error.hpp"
+#include "fss/compare.hpp"
+
+namespace c2pi::fss {
+
+class KeyPool {
+public:
+    [[nodiscard]] std::size_t size() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return keys_.size();
+    }
+
+    void push(std::vector<ReluKeyShare> batch) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (auto& k : batch) keys_.push_back(std::move(k));
+    }
+
+    /// Remove and return the n oldest keys; throws if fewer are pooled
+    /// (the caller is responsible for replenishing first).
+    [[nodiscard]] std::vector<ReluKeyShare> take(std::size_t n) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        require(keys_.size() >= n, "fss::KeyPool: not enough preprocessed keys");
+        std::vector<ReluKeyShare> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(std::move(keys_.front()));
+            keys_.pop_front();
+        }
+        return out;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::deque<ReluKeyShare> keys_;
+};
+
+}  // namespace c2pi::fss

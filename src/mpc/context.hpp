@@ -11,7 +11,9 @@
 #include <optional>
 
 #include "crypto/ot.hpp"
+#include "fss/key_pool.hpp"
 #include "he/bfv.hpp"
+#include "mpc/gc_cache.hpp"
 #include "net/channel.hpp"
 
 namespace c2pi::mpc {
@@ -30,7 +32,10 @@ public:
           bfv_(&bfv),
           prg_(crypto::Block128{session_seed.lo ^ 0x5EC4E7ULL * (transport.party_id() + 1),
                                 session_seed.hi ^ 0x9D0FULL},
-               /*nonce=*/static_cast<std::uint64_t>(transport.party_id()) + 100) {
+               /*nonce=*/static_cast<std::uint64_t>(transport.party_id()) + 100),
+          share_prg_(crypto::Block128{session_seed.lo ^ 0x5EC4E7ULL * (transport.party_id() + 1),
+                                      session_seed.hi ^ 0x9D0FULL},
+                     /*nonce=*/static_cast<std::uint64_t>(transport.party_id()) + 200) {
         // Two base-OT setups, one per sender direction. Both parties derive
         // them deterministically from the session seed (trusted-dealer
         // substitution, DESIGN.md §4); the replaced Naor-Pinkas traffic is
@@ -55,6 +60,17 @@ public:
     [[nodiscard]] const he::BfvContext& bfv() const { return *bfv_; }
     [[nodiscard]] crypto::ChaCha20Prg& prg() { return prg_; }
 
+    /// Dedicated stream for randomness that determines SHARE VALUES:
+    /// the HE linear layers' output masks and encryption noise, and the
+    /// session layer's canonical post-nonlinear resharing. Kept separate
+    /// from prg() (protocol-internal randomness: garbling, OT offsets,
+    /// FSS key material) so its state depends only on the layer plan,
+    /// never on which nonlinear backend ran in between. Local share
+    /// truncation makes reconstructed values share-dependent, so this
+    /// separation is the invariant behind bit-identical logits across
+    /// nonlinear backends (fss_test.cpp pins it).
+    [[nodiscard]] crypto::ChaCha20Prg& share_prg() { return share_prg_; }
+
     /// OT endpoint where this party plays extension sender.
     [[nodiscard]] crypto::IknpSender& ot_sender() { return *ot_sender_; }
     /// OT endpoint where this party plays extension receiver.
@@ -65,6 +81,21 @@ public:
     [[nodiscard]] const he::SecretKey& client_key() const {
         require(client_key_.has_value(), "client key not set on this party");
         return *client_key_;
+    }
+
+    /// This party's pool of preprocessed FSS ReLU material (kFss backend).
+    /// Per-session by necessity: the keys pair with the peer's halves
+    /// shipped over THIS connection, so sharing a pool across sessions
+    /// would mismatch key halves.
+    [[nodiscard]] fss::KeyPool& fss_pool() { return fss_pool_; }
+
+    /// GC circuit cache for secure_maxpool. Sessions point this at their
+    /// compiled model's cache (set_gc_cache) so concurrent sessions of
+    /// different models never contend; contexts without a model (unit
+    /// tests, benches) fall back to a private owned instance.
+    void set_gc_cache(GcCircuitCache* cache) { gc_cache_ = cache; }
+    [[nodiscard]] GcCircuitCache& gc_cache() {
+        return gc_cache_ != nullptr ? *gc_cache_ : owned_gc_cache_;
     }
 
     /// Per-session scratch payload buffers for ciphertext (de)serialization:
@@ -82,9 +113,13 @@ private:
     FixedPointFormat fmt_;
     const he::BfvContext* bfv_;
     crypto::ChaCha20Prg prg_;
+    crypto::ChaCha20Prg share_prg_;
     std::optional<crypto::IknpSender> ot_sender_;
     std::optional<crypto::IknpReceiver> ot_receiver_;
     std::optional<he::SecretKey> client_key_;
+    fss::KeyPool fss_pool_;
+    GcCircuitCache* gc_cache_ = nullptr;
+    GcCircuitCache owned_gc_cache_;
     std::vector<std::uint8_t> send_scratch_, recv_scratch_;
 };
 

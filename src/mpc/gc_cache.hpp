@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file gc_cache.hpp
+/// Cache of built GC max-circuits, scoped to a compiled model.
+///
+/// secure_maxpool's k^2-input max circuit takes real time to build, so it
+/// is cached — but process-wide state (the original fix) serializes every
+/// session behind one lock. Instead each CompiledModel/ClientModel owns a
+/// cache and sessions point their PartyContext at it, so concurrent
+/// sessions of different models never contend and the lock a session does
+/// take is uncontended in the common single-model case. A PartyContext
+/// without a model (unit tests, micro-benches) falls back to an owned
+/// private instance.
+
+#include <map>
+#include <mutex>
+
+#include "crypto/circuit.hpp"
+
+namespace c2pi::mpc {
+
+class GcCircuitCache {
+public:
+    /// The k2-input, 64-bit max circuit, built on first use. The map's
+    /// node stability keeps the returned reference valid after unlock,
+    /// and a built Circuit is immutable.
+    [[nodiscard]] const crypto::Circuit& max_circuit(int k2) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        auto it = circuits_.find(k2);
+        if (it == circuits_.end())
+            it = circuits_.emplace(k2, crypto::build_max_circuit(64, k2)).first;
+        return it->second;
+    }
+
+private:
+    std::mutex mutex_;
+    std::map<int, crypto::Circuit> circuits_;
+};
+
+}  // namespace c2pi::mpc

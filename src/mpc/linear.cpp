@@ -138,7 +138,7 @@ std::vector<Ring> he_conv_server(PartyContext& ctx, const ConvLayerCache& cache,
 
     // Fresh mask r per channel: client will end with conv(x_c) - r; the
     // server's share is conv(x_s) + bias + r. Masks are drawn up front in
-    // channel order so the session PRG stream never depends on the
+    // channel order so the share-PRG stream never depends on the
     // parallel schedule below.
     std::vector<Ring> out_share(static_cast<std::size_t>(geo.out_channels * out_pixels));
     std::vector<std::vector<Ring>> masks(static_cast<std::size_t>(geo.out_channels));
@@ -146,7 +146,7 @@ std::vector<Ring> he_conv_server(PartyContext& ctx, const ConvLayerCache& cache,
         std::vector<Ring>& mask = masks[static_cast<std::size_t>(o)];
         mask.resize(static_cast<std::size_t>(out_pixels));
         for (std::int64_t i = 0; i < out_pixels; ++i) {
-            const Ring r = ctx.prg().next_u64();
+            const Ring r = ctx.share_prg().next_u64();
             mask[static_cast<std::size_t>(i)] = Ring{0} - r;
             Ring server_val = plain_part[static_cast<std::size_t>(o * out_pixels + i)] + r;
             if (!cache.bias2f.empty()) server_val += cache.bias2f[static_cast<std::size_t>(o)];
@@ -189,7 +189,7 @@ std::vector<Ring> he_conv_client(PartyContext& ctx, const he::ConvEncoder& enc,
 
     for (std::int64_t g = 0; g < enc.num_groups(); ++g) {
         const he::Ciphertext ct =
-            bfv.encrypt(enc.encode_input_group(x_share, g), ctx.client_key(), ctx.prg());
+            bfv.encrypt(enc.encode_input_group(x_share, g), ctx.client_key(), ctx.share_prg());
         send_ciphertext(ctx, ct);
     }
 
@@ -233,7 +233,7 @@ std::vector<Ring> he_matvec_server(PartyContext& ctx, const MatVecLayerCache& ca
         mask.resize(static_cast<std::size_t>(rows));
         for (std::int64_t r = 0; r < rows; ++r) {
             const std::int64_t row = b * enc.outs_per_block() + r;
-            const Ring rv = ctx.prg().next_u64();
+            const Ring rv = ctx.share_prg().next_u64();
             mask[static_cast<std::size_t>(r)] = Ring{0} - rv;
             Ring server_val = plain_part[static_cast<std::size_t>(row)] + rv;
             if (!cache.bias2f.empty()) server_val += cache.bias2f[static_cast<std::size_t>(row)];
@@ -267,7 +267,8 @@ std::vector<Ring> he_matvec_client(PartyContext& ctx, const he::MatVecEncoder& e
                                    std::span<const Ring> x_share) {
     const he::BfvContext& bfv = ctx.bfv();
 
-    const he::Ciphertext ct = bfv.encrypt(enc.encode_input(x_share), ctx.client_key(), ctx.prg());
+    const he::Ciphertext ct =
+        bfv.encrypt(enc.encode_input(x_share), ctx.client_key(), ctx.share_prg());
     send_ciphertext(ctx, ct);
 
     std::vector<Ring> out_share(static_cast<std::size_t>(enc.out_features()));

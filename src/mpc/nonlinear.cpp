@@ -1,10 +1,9 @@
 #include "mpc/nonlinear.hpp"
 
-#include <map>
-#include <mutex>
-
 #include "crypto/circuit.hpp"
 #include "crypto/garbling.hpp"
+#include "fss/compare.hpp"
+#include "fss/key_pool.hpp"
 
 namespace c2pi::mpc {
 
@@ -162,6 +161,41 @@ std::vector<Ring> relu_shares_gc(PartyContext& ctx, std::span<const Ring> y_shar
     return fresh;
 }
 
+/// FSS backend: drain preprocessed key material (replenishing any
+/// deficit first — both parties compute the identical deficit from their
+/// equal-sized pools, so the dealer/recv calls pair up), reconstruct the
+/// masked values in one round, then evaluate locally.
+std::vector<Ring> relu_shares_fss(PartyContext& ctx, std::span<const Ring> y_share) {
+    const std::size_t n = y_share.size();
+    auto& pool = ctx.fss_pool();
+    if (pool.size() < n) {
+        const std::size_t deficit = n - pool.size();
+        if (ctx.is_server())
+            fss::dealer_replenish(ctx.transport(), ctx.prg(), pool, deficit);
+        else
+            fss::client_replenish(ctx.transport(), pool, deficit);
+    }
+    const auto keys = pool.take(n);
+    std::vector<Ring> masked(n);
+    for (std::size_t i = 0; i < n; ++i) masked[i] = y_share[i] + keys[i].r_share;
+    const auto z = reveal_shares(ctx, masked);
+    std::vector<Ring> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = fss::eval_relu(keys[i], ctx.party(), z[i]);
+    return out;
+}
+
+/// max(a, b) = a + ReLU(b - a), elementwise over shares (FSS flavour of
+/// millionaire.hpp's max_pairwise_ot).
+std::vector<Ring> max_pairwise_fss(PartyContext& ctx, std::span<const Ring> a,
+                                   std::span<const Ring> b) {
+    require(a.size() == b.size(), "max_pairwise_fss size mismatch");
+    std::vector<Ring> diff(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) diff[i] = b[i] - a[i];
+    auto out = relu_shares_fss(ctx, diff);
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] += a[i];
+    return out;
+}
+
 }  // namespace
 
 std::vector<Ring> secure_relu(PartyContext& ctx, std::span<const Ring> y_share,
@@ -169,6 +203,7 @@ std::vector<Ring> secure_relu(PartyContext& ctx, std::span<const Ring> y_share,
                               std::span<const Ring> client_fresh_share) {
     if (backend == NonlinearBackend::kGarbledCircuit)
         return relu_shares_gc(ctx, y_share, client_fresh_share);
+    if (backend == NonlinearBackend::kFss) return relu_shares_fss(ctx, y_share);
     return relu_shares_ot(ctx, y_share);
 }
 
@@ -200,24 +235,10 @@ RingTensor secure_maxpool(PartyContext& ctx, const RingTensor& x_share, std::int
 
     std::vector<Ring> result;
     if (backend == NonlinearBackend::kGarbledCircuit) {
-        // Shared across ALL sessions (the process-wide circuit cache), so
-        // lookup/build must be locked: concurrent sessions — the serving
-        // pool, the batched service, even one in-process session's two
-        // party threads — reach here simultaneously. The map's node
-        // stability keeps the returned reference valid after unlock, and
-        // a built Circuit is immutable.
-        static std::mutex circuits_mutex;
-        static std::map<int, crypto::Circuit> circuits;
-        const crypto::Circuit& circuit = [&]() -> const crypto::Circuit& {
-            const std::lock_guard<std::mutex> lock(circuits_mutex);
-            auto it = circuits.find(static_cast<int>(k2));
-            if (it == circuits.end())
-                it = circuits
-                         .emplace(static_cast<int>(k2),
-                                  crypto::build_max_circuit(64, static_cast<int>(k2)))
-                         .first;
-            return it->second;
-        }();
+        // The circuit cache is scoped to the session's compiled model
+        // (mpc/gc_cache.hpp) rather than process-wide, so concurrent
+        // sessions of different models never contend on its lock.
+        const crypto::Circuit& circuit = ctx.gc_cache().max_circuit(static_cast<int>(k2));
         std::vector<std::span<const Ring>> spans;
         spans.reserve(k2);
         for (const auto& lane : lanes) spans.emplace_back(lane);
@@ -231,12 +252,14 @@ RingTensor secure_maxpool(PartyContext& ctx, const RingTensor& x_share, std::int
             result = fresh;
         }
     } else {
-        // OT backend: binary tournament of batched pairwise max.
+        // OT and FSS backends: binary tournament of batched pairwise max.
         std::vector<std::vector<Ring>> round = std::move(lanes);
         while (round.size() > 1) {
             std::vector<std::vector<Ring>> next;
             for (std::size_t i = 0; i + 1 < round.size(); i += 2)
-                next.push_back(max_pairwise_ot(ctx, round[i], round[i + 1]));
+                next.push_back(backend == NonlinearBackend::kFss
+                                   ? max_pairwise_fss(ctx, round[i], round[i + 1])
+                                   : max_pairwise_ot(ctx, round[i], round[i + 1]));
             if (round.size() % 2 == 1) next.push_back(std::move(round.back()));
             round = std::move(next);
         }

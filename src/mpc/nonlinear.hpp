@@ -11,15 +11,19 @@
 ///    engine can pre-commit its offline masks.
 ///  * kOtMillionaire — Cheetah-style: DReLU via the radix-16 millionaire
 ///    protocol + COT multiplexer (see millionaire.hpp), online-only.
+///  * kFss — function-secret-sharing comparisons (fss/compare.hpp):
+///    DCF key pairs are dealt in the preprocessing phase (the pool in
+///    PartyContext), so the online cost per ReLU batch is one masked-
+///    value reconstruction round plus local DCF evaluations.
 ///
-/// Both backends expose the same share-in/share-out signature so the PI
+/// All backends expose the same share-in/share-out signature so the PI
 /// engines stay backend-agnostic.
 
 #include "mpc/millionaire.hpp"
 
 namespace c2pi::mpc {
 
-enum class NonlinearBackend { kGarbledCircuit, kOtMillionaire };
+enum class NonlinearBackend { kGarbledCircuit, kOtMillionaire, kFss };
 
 /// Batched secure ReLU. `client_fresh_share` (client side, GC backend
 /// only) pins the client's output share; pass empty to draw from the

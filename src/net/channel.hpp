@@ -18,15 +18,21 @@
 namespace c2pi::net {
 
 /// One blocking FIFO direction of the duplex channel. Messages carry a
-/// bootstrap tag mirroring TcpTransport's frame types, so an artifact
-/// met by a protocol recv (or vice versa) raises the same typed error
-/// in-process that it would over a socket instead of silently feeding
-/// setup bytes into the protocol.
+/// kind tag mirroring TcpTransport's frame types, so an artifact or key
+/// batch met by a protocol recv (or vice versa) raises the same typed
+/// error in-process that it would over a socket instead of silently
+/// feeding setup bytes into the protocol.
 class ByteQueue {
 public:
+    enum class MsgKind {
+        kData = 0,      ///< ordinary protocol message
+        kArtifact = 1,  ///< session-bootstrap artifact, not protocol data
+        kKeys = 2,      ///< preprocessing key batch (Phase::kPreprocess)
+    };
+
     struct Msg {
         std::vector<std::uint8_t> bytes;
-        bool artifact = false;  ///< session-bootstrap message, not protocol data
+        MsgKind kind = MsgKind::kData;
     };
 
     void push(Msg msg) {
@@ -86,12 +92,13 @@ public:
     void send_bytes(std::span<const std::uint8_t> data) override {
         channel_->record_send(party_, phase_, data.size());
         channel_->queue_to(1 - party_).push(
-            {std::vector<std::uint8_t>(data.begin(), data.end()), /*artifact=*/false});
+            {std::vector<std::uint8_t>(data.begin(), data.end()), ByteQueue::MsgKind::kData});
     }
 
     [[nodiscard]] std::vector<std::uint8_t> recv_bytes() override {
         auto msg = channel_->queue_to(party_).pop();
-        require(!msg.artifact, "in-proc recv: unexpected artifact message mid-protocol");
+        require(msg.kind == ByteQueue::MsgKind::kData,
+                "in-proc recv: unexpected bootstrap/keys message mid-protocol");
         return std::move(msg.bytes);
     }
 
@@ -103,11 +110,27 @@ public:
     /// frame).
     void send_artifact_bytes(std::span<const std::uint8_t> bytes) override {
         channel_->queue_to(1 - party_).push(
-            {std::vector<std::uint8_t>(bytes.begin(), bytes.end()), /*artifact=*/true});
+            {std::vector<std::uint8_t>(bytes.begin(), bytes.end()), ByteQueue::MsgKind::kArtifact});
     }
     [[nodiscard]] std::vector<std::uint8_t> recv_artifact_bytes() override {
         auto msg = channel_->queue_to(party_).pop();
-        require(msg.artifact, "in-proc recv: expected the session's artifact message");
+        require(msg.kind == ByteQueue::MsgKind::kArtifact,
+                "in-proc recv: expected the session's artifact message");
+        return std::move(msg.bytes);
+    }
+
+    /// Preprocessing key batches: metered, but always under
+    /// Phase::kPreprocess regardless of the transport's current phase
+    /// (mirrors TcpTransport's kKeys frame).
+    void send_keys_bytes(std::span<const std::uint8_t> bytes) override {
+        channel_->record_send(party_, Phase::kPreprocess, bytes.size());
+        channel_->queue_to(1 - party_).push(
+            {std::vector<std::uint8_t>(bytes.begin(), bytes.end()), ByteQueue::MsgKind::kKeys});
+    }
+    [[nodiscard]] std::vector<std::uint8_t> recv_keys_bytes() override {
+        auto msg = channel_->queue_to(party_).pop();
+        require(msg.kind == ByteQueue::MsgKind::kKeys,
+                "in-proc recv: expected a preprocessing key batch");
         return std::move(msg.bytes);
     }
 

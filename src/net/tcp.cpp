@@ -203,7 +203,7 @@ Phase TcpTransport::recv_frame_into(std::vector<std::uint8_t>& out, FrameType ex
         fail("tcp recv: peer ended the session");
     }
     if (type == FrameType::kBusy) {
-        // Typed overload rejection (PROTOCOL.md §4): only legal from
+        // Typed overload rejection (PROTOCOL.md §5): only legal from
         // party 0, only where the ARTIFACT frame would go (the session's
         // first frame — i.e. we are a client waiting for the artifact),
         // and only empty. Anywhere else it is a protocol violation, not
@@ -217,22 +217,30 @@ Phase TcpTransport::recv_frame_into(std::vector<std::uint8_t>& out, FrameType ex
         }
         fail("tcp recv: illegal BUSY frame (wrong sender, position, or length)");
     }
-    if (type != FrameType::kData && type != FrameType::kArtifact)
+    if (type != FrameType::kData && type != FrameType::kArtifact && type != FrameType::kKeys)
         fail("tcp recv: unknown frame type");
     if (type != expected) {
-        fail(expected == FrameType::kArtifact
-                 ? "tcp recv: expected the session's artifact frame"
-                 : "tcp recv: unexpected artifact frame mid-protocol");
+        if (expected == FrameType::kArtifact)
+            fail("tcp recv: expected the session's artifact frame");
+        if (expected == FrameType::kKeys)
+            fail("tcp recv: expected a preprocessing KEYS frame");
+        fail(type == FrameType::kArtifact
+                 ? "tcp recv: unexpected artifact frame mid-protocol"
+                 : "tcp recv: unexpected KEYS frame mid-protocol");
     }
     if (type == FrameType::kArtifact)
         require(len <= kMaxArtifactPayload,
                 "tcp recv: artifact frame implausibly large (corrupt or hostile peer)");
     // §3: the phase tag on an ARTIFACT frame is ignored (bootstrap bytes
-    // are never attributed to a protocol phase), so only DATA validates it.
+    // are never attributed to a protocol phase), so only DATA validates
+    // it. KEYS frames are kPreprocess by definition (§4) — the receiver
+    // forces the bucket rather than trusting the tag.
     Phase phase = Phase::kOnline;
     if (type == FrameType::kData) {
         require(header[5] < kNumPhases, "tcp recv: bad phase tag");
         phase = static_cast<Phase>(header[5]);
+    } else if (type == FrameType::kKeys) {
+        phase = Phase::kPreprocess;
     }
 
     out.resize(len);
@@ -265,6 +273,21 @@ void TcpTransport::send_busy() {
 std::vector<std::uint8_t> TcpTransport::recv_artifact_bytes() {
     std::vector<std::uint8_t> payload;
     (void)recv_frame_into(payload, FrameType::kArtifact);
+    return payload;
+}
+
+void TcpTransport::send_keys_bytes(std::span<const std::uint8_t> bytes) {
+    require(is_open(), "tcp send: transport is closed");
+    send_frame(FrameType::kKeys, Phase::kPreprocess, bytes);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.record(party_, Phase::kPreprocess, bytes.size());
+}
+
+std::vector<std::uint8_t> TcpTransport::recv_keys_bytes() {
+    std::vector<std::uint8_t> payload;
+    const Phase phase = recv_frame_into(payload, FrameType::kKeys);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.record(1 - party_, phase, payload.size());
     return payload;
 }
 

@@ -44,11 +44,17 @@ inline constexpr std::uint32_t kMaxFramePayload = 1U << 30;
 /// demand a gigabyte first.
 inline constexpr std::uint32_t kMaxArtifactPayload = 1U << 20;
 
-enum class FrameType : std::uint8_t { kData = 1, kShutdown = 2, kArtifact = 3, kBusy = 4 };
+enum class FrameType : std::uint8_t {
+    kData = 1,
+    kShutdown = 2,
+    kArtifact = 3,
+    kBusy = 4,
+    kKeys = 5,
+};
 
 /// Typed overload rejection: the server refused the session before it
 /// began because its serving pool is saturated (BUSY frame,
-/// docs/PROTOCOL.md §4). Distinct from Error so a client can tell "come
+/// docs/PROTOCOL.md §5). Distinct from Error so a client can tell "come
 /// back later" apart from a protocol failure.
 struct ServerBusy final : Error {
     ServerBusy() : Error("tcp recv: server is at capacity (BUSY frame) - retry later") {}
@@ -85,8 +91,15 @@ public:
     void send_artifact_bytes(std::span<const std::uint8_t> bytes) override;
     [[nodiscard]] std::vector<std::uint8_t> recv_artifact_bytes() override;
 
+    /// Preprocessing key batches travel in kKeys frames: metered like
+    /// DATA (a real deployment pays for key shipment) but always under
+    /// Phase::kPreprocess, whatever phase the transport is in
+    /// (docs/PROTOCOL.md §4).
+    void send_keys_bytes(std::span<const std::uint8_t> bytes) override;
+    [[nodiscard]] std::vector<std::uint8_t> recv_keys_bytes() override;
+
     /// Overload rejection: send a BUSY frame in place of the session's
-    /// ARTIFACT frame (docs/PROTOCOL.md §4), telling the peer the server
+    /// ARTIFACT frame (docs/PROTOCOL.md §5), telling the peer the server
     /// is at capacity. Caller follows up with close(); the peer's
     /// pending recv raises ServerBusy.
     void send_busy();

@@ -29,9 +29,12 @@
 namespace c2pi::net {
 
 /// Protocol phase tag for traffic accounting (Delphi separates an input-
-/// independent offline phase; Cheetah is online-only).
-enum class Phase { kOffline = 0, kOnline = 1 };
-inline constexpr int kNumPhases = 2;
+/// independent offline phase; Cheetah is online-only). kPreprocess is the
+/// per-session FSS key-shipment phase: input-independent like kOffline,
+/// but kept in its own bucket so key-batch bytes never blur into the
+/// offline HE traffic the paper's tables report.
+enum class Phase { kOffline = 0, kOnline = 1, kPreprocess = 2 };
+inline constexpr int kNumPhases = 3;
 
 /// Traffic counters for one two-party connection. For the in-process
 /// channel the two parties share one instance; each TCP endpoint keeps
@@ -57,7 +60,9 @@ struct ChannelStats {
     }
 
     [[nodiscard]] std::uint64_t total_bytes() const {
-        return bytes[0][0] + bytes[0][1] + bytes[1][0] + bytes[1][1];
+        std::uint64_t total = 0;
+        for (int p = 0; p < kNumPhases; ++p) total += bytes[p][0] + bytes[p][1];
+        return total;
     }
     [[nodiscard]] std::uint64_t phase_bytes(Phase p) const {
         return bytes[static_cast<int>(p)][0] + bytes[static_cast<int>(p)][1];
@@ -65,7 +70,11 @@ struct ChannelStats {
     [[nodiscard]] std::uint64_t phase_flights(Phase p) const {
         return flights[static_cast<int>(p)];
     }
-    [[nodiscard]] std::uint64_t total_flights() const { return flights[0] + flights[1]; }
+    [[nodiscard]] std::uint64_t total_flights() const {
+        std::uint64_t total = 0;
+        for (int p = 0; p < kNumPhases; ++p) total += flights[p];
+        return total;
+    }
 
     friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
 };
@@ -124,6 +133,23 @@ public:
     /// protocol recv on transports whose peer ships one.
     [[nodiscard]] virtual std::vector<std::uint8_t> recv_artifact_bytes() {
         fail("this transport cannot receive a model artifact");
+    }
+
+    // -- preprocessing material ----------------------------------------------
+    /// Ship one batch of input-independent correlated randomness (FSS key
+    /// halves) to the peer. Unlike artifact shipping these bytes ARE
+    /// protocol traffic — a real deployment pays for them — but they are
+    /// always accounted under Phase::kPreprocess regardless of the
+    /// transport's current phase, so online nonlinear bytes stay clean
+    /// (docs/PROTOCOL.md §4). Implemented by InProcTransport and
+    /// TcpTransport; other transports refuse by default.
+    virtual void send_keys_bytes(std::span<const std::uint8_t> bytes) {
+        (void)bytes;
+        fail("this transport cannot ship preprocessing key material");
+    }
+    /// Receive one preprocessing key batch from the peer.
+    [[nodiscard]] virtual std::vector<std::uint8_t> recv_keys_bytes() {
+        fail("this transport cannot receive preprocessing key material");
     }
 
     // -- typed helpers -------------------------------------------------------

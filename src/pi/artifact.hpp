@@ -24,6 +24,7 @@
 #include <span>
 
 #include "he/bfv.hpp"
+#include "mpc/gc_cache.hpp"
 #include "pi/plan.hpp"
 
 namespace c2pi::pi {
@@ -124,11 +125,16 @@ public:
     /// Resolved thread count (after auto-detection).
     [[nodiscard]] int num_threads() const;
 
+    /// GC max-circuit cache shared by this client's sessions, mirroring
+    /// CompiledModel::gc_cache() on the server side.
+    [[nodiscard]] mpc::GcCircuitCache& gc_cache() const { return gc_cache_; }
+
 private:
     ModelArtifact artifact_;
     std::unique_ptr<core::ThreadPool> pool_;  ///< null when running serially
     he::BfvContext bfv_;                      ///< borrows pool_
     std::vector<LayerCache> caches_;          ///< borrows bfv_; encoders only
+    mutable mpc::GcCircuitCache gc_cache_;
 };
 
 }  // namespace c2pi::pi

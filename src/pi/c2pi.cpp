@@ -15,7 +15,8 @@ CompiledModel::Options compile_options(const nn::CutPoint& boundary, const Shape
 SessionConfig session_config(const C2piOptions& options) {
     return SessionConfig{.backend = options.backend,
                          .noise_lambda = options.boundary.noise_lambda,
-                         .seed = options.seed};
+                         .seed = options.seed,
+                         .nonlinear = options.nonlinear};
 }
 
 Shape dataset_input_shape(const data::SyntheticImageDataset& dataset) {

@@ -20,6 +20,9 @@ struct C2piOptions {
     FixedPointFormat fmt{.frac_bits = 16};
     std::size_t he_ring_degree = 4096;
     std::uint64_t seed = kDefaultSeed;
+    /// Nonlinear backend override (nullopt = the family's native choice;
+    /// see SessionConfig::nonlinear).
+    std::optional<mpc::NonlinearBackend> nonlinear;
 };
 
 /// A configured crypto-clear private inference system: one boundary

@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "he/bfv.hpp"
+#include "mpc/gc_cache.hpp"
 #include "net/cost_model.hpp"
 #include "pi/artifact.hpp"
 
@@ -42,16 +43,25 @@ enum class PiBackend { kDelphi, kCheetah };
     return b == PiBackend::kDelphi ? "Delphi" : "Cheetah";
 }
 
-/// Per-inference traffic/time accounting (aggregated per phase).
+/// Per-inference traffic/time accounting (aggregated per phase). The
+/// preprocessing bucket holds the kFss key shipment (KEYS frames), kept
+/// apart from both the offline HE traffic and the online nonlinear bytes
+/// the paper's tables compare.
 struct PiStats {
     std::uint64_t offline_bytes = 0;
     std::uint64_t online_bytes = 0;
+    std::uint64_t preprocess_bytes = 0;
     std::uint64_t offline_flights = 0;
     std::uint64_t online_flights = 0;
+    std::uint64_t preprocess_flights = 0;
     double wall_seconds = 0.0;
 
-    [[nodiscard]] std::uint64_t total_bytes() const { return offline_bytes + online_bytes; }
-    [[nodiscard]] std::uint64_t total_flights() const { return offline_flights + online_flights; }
+    [[nodiscard]] std::uint64_t total_bytes() const {
+        return offline_bytes + online_bytes + preprocess_bytes;
+    }
+    [[nodiscard]] std::uint64_t total_flights() const {
+        return offline_flights + online_flights + preprocess_flights;
+    }
 
     /// End-to-end latency under a network model (DESIGN.md §4 subst. 5).
     [[nodiscard]] double latency_seconds(const net::NetworkModel& net) const {
@@ -146,6 +156,12 @@ public:
         return tail_passes_.load(std::memory_order_relaxed);
     }
 
+    /// GC max-circuit cache shared by every session served from this
+    /// model (mpc/gc_cache.hpp): per-model rather than process-wide, so
+    /// concurrent sessions of different models never contend. Mutable
+    /// state with internal locking, like tail_passes_.
+    [[nodiscard]] mpc::GcCircuitCache& gc_cache() const { return gc_cache_; }
+
 private:
     /// Tag for artifacts that need no model cross-check: the local
     /// compile path just built its artifact FROM the model, so re-running
@@ -165,6 +181,7 @@ private:
     he::BfvContext bfv_;                      ///< borrows pool_
     std::vector<LayerCache> layer_caches_;    ///< borrows server_data_ + bfv_
     mutable std::atomic<std::uint64_t> tail_passes_{0};
+    mutable mpc::GcCircuitCache gc_cache_;
 };
 
 }  // namespace c2pi::pi

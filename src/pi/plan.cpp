@@ -146,4 +146,17 @@ std::vector<LayerCache> precompute_client_caches(const std::vector<LayerPlan>& p
     return caches;
 }
 
+std::size_t count_fss_comparisons(const std::vector<LayerPlan>& plan) {
+    std::size_t count = 0;
+    for (const LayerPlan& p : plan) {
+        if (p.op == PlanOp::kRelu) {
+            count += static_cast<std::size_t>(shape_numel(p.out_shape));
+        } else if (p.op == PlanOp::kMaxPool) {
+            const auto k2 = static_cast<std::size_t>(p.pool_kernel * p.pool_kernel);
+            count += static_cast<std::size_t>(shape_numel(p.out_shape)) * (k2 - 1);
+        }
+    }
+    return count;
+}
+
 }  // namespace c2pi::pi

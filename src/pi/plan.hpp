@@ -73,4 +73,12 @@ struct LayerCache {
 [[nodiscard]] std::vector<LayerCache> precompute_client_caches(
     const std::vector<LayerPlan>& plan, const he::BfvContext& bfv);
 
+/// Number of FSS comparisons one inference over this plan consumes: one
+/// per ReLU output element, and kernel^2 - 1 per maxpool window (the
+/// binary pairwise-max tournament). Both parties derive the kFss
+/// preprocessing batch size from this, so the dealer's shipment and the
+/// client's expectation agree by construction. The plan is public, so
+/// the count is too.
+[[nodiscard]] std::size_t count_fss_comparisons(const std::vector<LayerPlan>& plan);
+
 }  // namespace c2pi::pi

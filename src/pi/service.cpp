@@ -100,8 +100,10 @@ InferenceService::BatchResult InferenceService::run_batch(std::span<const Tensor
     for (const PiResult& res : batch.results) {
         batch.aggregate.offline_bytes += res.stats.offline_bytes;
         batch.aggregate.online_bytes += res.stats.online_bytes;
+        batch.aggregate.preprocess_bytes += res.stats.preprocess_bytes;
         batch.aggregate.offline_flights += res.stats.offline_flights;
         batch.aggregate.online_flights += res.stats.online_flights;
+        batch.aggregate.preprocess_flights += res.stats.preprocess_flights;
     }
     batch.aggregate.wall_seconds = watch.seconds();
     return batch;

@@ -107,8 +107,10 @@ void ServingPool::serve_one(net::TcpTransport& transport, std::uint64_t index) n
             ++stats_.served;
             stats_.traffic.offline_bytes += report.stats.offline_bytes;
             stats_.traffic.online_bytes += report.stats.online_bytes;
+            stats_.traffic.preprocess_bytes += report.stats.preprocess_bytes;
             stats_.traffic.offline_flights += report.stats.offline_flights;
             stats_.traffic.online_flights += report.stats.online_flights;
+            stats_.traffic.preprocess_flights += report.stats.preprocess_flights;
             stats_.traffic.wall_seconds += report.stats.wall_seconds;
         } else {
             ++stats_.failed;

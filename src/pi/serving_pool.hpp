@@ -10,7 +10,7 @@
 /// exactly one thing per connection: hand the handshaken transport to
 /// `serve()`. Admission is bounded: once `workers + queue_capacity`
 /// sessions are in flight, `serve()` refuses, answering the client with
-/// the typed wire-level BUSY frame (docs/PROTOCOL.md §4) instead of
+/// the typed wire-level BUSY frame (docs/PROTOCOL.md §5) instead of
 /// letting an unbounded backlog build; the client's pending receive
 /// raises `net::ServerBusy`, a "come back later" distinct from any
 /// protocol failure.

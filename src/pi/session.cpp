@@ -1,16 +1,39 @@
 #include "pi/session.hpp"
 
+#include <string>
+
+#include "fss/compare.hpp"
+#include "fss/key_pool.hpp"
 #include "mpc/linear.hpp"
 #include "mpc/nonlinear.hpp"
 
 namespace c2pi::pi {
 
-namespace {
-
-mpc::NonlinearBackend nonlinear_backend(PiBackend b) {
-    return b == PiBackend::kDelphi ? mpc::NonlinearBackend::kGarbledCircuit
-                                   : mpc::NonlinearBackend::kOtMillionaire;
+mpc::NonlinearBackend resolve_nonlinear(const SessionConfig& config) {
+    if (config.nonlinear.has_value()) return *config.nonlinear;
+    return config.backend == PiBackend::kDelphi ? mpc::NonlinearBackend::kGarbledCircuit
+                                                : mpc::NonlinearBackend::kOtMillionaire;
 }
+
+const char* nonlinear_name(mpc::NonlinearBackend backend) {
+    switch (backend) {
+        case mpc::NonlinearBackend::kGarbledCircuit:
+            return "gc";
+        case mpc::NonlinearBackend::kOtMillionaire:
+            return "ot";
+        case mpc::NonlinearBackend::kFss:
+            return "fss";
+    }
+    fail("unknown nonlinear backend");
+}
+
+NonlinearMismatch::NonlinearMismatch(mpc::NonlinearBackend server_choice,
+                                     mpc::NonlinearBackend client_choice)
+    : Error(std::string("nonlinear backend mismatch: server announced '") +
+            nonlinear_name(server_choice) + "' but this client was configured for '" +
+            nonlinear_name(client_choice) + "'") {}
+
+namespace {
 
 /// AvgPool is linear: local window sums, multiply by encode(1/k^2) and
 /// truncate (both parties independently).
@@ -34,11 +57,38 @@ std::vector<Ring> local_avgpool(std::span<const Ring> x, const LayerPlan& p,
     return out;
 }
 
+/// Canonical post-nonlinear resharing: the client replaces its output
+/// share with fresh draws from the dedicated share stream and shifts the
+/// difference to the server (delta is one-time-padded by the fresh draw,
+/// so the server learns nothing). The nonlinear backends reshare
+/// differently and consume the party PRG differently; re-anchoring every
+/// share that enters a linear layer to the backend-independent
+/// share_prg() stream is what makes the local truncation error — and
+/// therefore the logits — bit-identical across backends (ISSUE 6's
+/// parity pin, tested in fss_test.cpp).
+std::vector<Ring> reshare_canonical(mpc::PartyContext& ctx, std::vector<Ring> share) {
+    if (ctx.is_server()) {
+        const auto delta = ctx.transport().recv_u64s();
+        require(delta.size() == share.size(), "reshare delta size mismatch");
+        for (std::size_t i = 0; i < share.size(); ++i) share[i] += delta[i];
+    } else {
+        std::vector<Ring> delta(share.size());
+        for (std::size_t i = 0; i < share.size(); ++i) {
+            const Ring fresh = ctx.share_prg().next_u64();
+            delta[i] = share[i] - fresh;
+            share[i] = fresh;
+        }
+        ctx.transport().send_u64s(delta);
+    }
+    return share;
+}
+
 struct PartyRun {
     const std::vector<LayerPlan>& plan;
     const std::vector<LayerCache>& caches;  ///< compile-time HE precompute
     PiBackend backend;
     const FixedPointFormat& fmt;
+    mpc::NonlinearBackend nonlinear;  ///< negotiated at session start
 
     /// Walk the crypto layers; `share` is this party's share of the
     /// current activation. Sets phase per backend convention. The server
@@ -76,13 +126,14 @@ struct PartyRun {
                     break;
                 }
                 case PlanOp::kRelu:
-                    share = mpc::secure_relu(ctx, share, nonlinear_backend(backend));
+                    share = reshare_canonical(ctx, mpc::secure_relu(ctx, share, nonlinear));
                     break;
                 case PlanOp::kMaxPool: {
                     mpc::RingTensor t(p.in_shape, std::move(share));
-                    share = mpc::secure_maxpool(ctx, t, p.pool_kernel, p.pool_stride,
-                                                nonlinear_backend(backend))
-                                .data;
+                    share = reshare_canonical(
+                        ctx,
+                        mpc::secure_maxpool(ctx, t, p.pool_kernel, p.pool_stride, nonlinear)
+                            .data);
                     break;
                 }
                 case PlanOp::kAvgPool:
@@ -109,13 +160,26 @@ void ServerSession::run(net::Transport& transport) const {
 void ServerSession::run(net::Transport& transport, const TailFn& tail) const {
     const CompiledModel& cm = *model_;
     mpc::PartyContext ctx(transport, cm.fmt(), cm.bfv(), session_seed(config_));
-    // Charge the dealer/base-OT setup to the offline phase.
+    ctx.set_gc_cache(&cm.gc_cache());
+    const mpc::NonlinearBackend nonlinear = resolve_nonlinear(config_);
+    // Charge the dealer/base-OT setup to the offline phase. The last byte
+    // of the setup message announces the server's (authoritative)
+    // nonlinear backend choice.
     transport.set_phase(net::Phase::kOffline);
-    transport.send_bytes(std::vector<std::uint8_t>(crypto::OtSetupPair::setup_traffic_bytes()));
+    std::vector<std::uint8_t> setup(crypto::OtSetupPair::setup_traffic_bytes() + 1);
+    setup.back() = static_cast<std::uint8_t>(nonlinear);
+    transport.send_bytes(setup);
     transport.set_phase(net::Phase::kOnline);
 
+    // FSS preprocessing: deal the whole inference's key schedule up front
+    // (plan-derived count, KEYS frame) so the online nonlinear phase is
+    // one reconstruction round + local evals per layer.
+    if (nonlinear == mpc::NonlinearBackend::kFss)
+        fss::dealer_replenish(transport, ctx.prg(), ctx.fss_pool(),
+                              count_fss_comparisons(cm.plan()));
+
     std::vector<Ring> share(static_cast<std::size_t>(shape_numel(cm.input_shape())), 0);
-    const PartyRun runner{cm.plan(), cm.layer_caches(), config_.backend, cm.fmt()};
+    const PartyRun runner{cm.plan(), cm.layer_caches(), config_.backend, cm.fmt(), nonlinear};
     share = runner.execute(ctx, std::move(share));
 
     if (cm.full_pi()) {
@@ -147,16 +211,31 @@ Tensor ClientSession::run(net::Transport& transport, const Tensor& input) const 
     validate_client_input(art, input);
 
     mpc::PartyContext ctx(transport, art.fmt, *bfv_, session_seed(config_));
+    if (gc_cache_ != nullptr) ctx.set_gc_cache(gc_cache_);
     transport.set_phase(net::Phase::kOffline);
-    (void)transport.recv_bytes();  // dealer setup
+    // Dealer setup; its trailing byte is the server's announced nonlinear
+    // backend, which is authoritative for the session.
+    const auto setup = transport.recv_bytes();
+    require(setup.size() == crypto::OtSetupPair::setup_traffic_bytes() + 1,
+            "dealer setup message has unexpected size");
+    const std::uint8_t announced = setup.back();
+    require(announced <= static_cast<std::uint8_t>(mpc::NonlinearBackend::kFss),
+            "server announced an unknown nonlinear backend");
+    const auto nonlinear = static_cast<mpc::NonlinearBackend>(announced);
+    if (config_.nonlinear.has_value() && *config_.nonlinear != nonlinear)
+        throw NonlinearMismatch(nonlinear, *config_.nonlinear);
     transport.set_phase(net::Phase::kOnline);
     crypto::ChaCha20Prg key_prg(crypto::Block128{config_.seed ^ 0x5E17, 0x11}, 3);
     ctx.set_client_key(bfv_->keygen(key_prg));
 
+    // FSS preprocessing: receive the dealer's plan-sized key shipment.
+    if (nonlinear == mpc::NonlinearBackend::kFss)
+        fss::client_replenish(transport, ctx.fss_pool(), count_fss_comparisons(art.plan));
+
     std::vector<Ring> share(static_cast<std::size_t>(input.numel()));
     for (std::size_t i = 0; i < share.size(); ++i)
         share[i] = art.fmt.encode(input[static_cast<std::int64_t>(i)]);
-    const PartyRun runner{art.plan, *caches_, config_.backend, art.fmt};
+    const PartyRun runner{art.plan, *caches_, config_.backend, art.fmt, nonlinear};
     share = runner.execute(ctx, std::move(share));
 
     Tensor logits;
@@ -188,8 +267,10 @@ PiStats stats_from_channel(const net::ChannelStats& channel) {
     PiStats stats;
     stats.offline_bytes = channel.phase_bytes(net::Phase::kOffline);
     stats.online_bytes = channel.phase_bytes(net::Phase::kOnline);
+    stats.preprocess_bytes = channel.phase_bytes(net::Phase::kPreprocess);
     stats.offline_flights = channel.phase_flights(net::Phase::kOffline);
     stats.online_flights = channel.phase_flights(net::Phase::kOnline);
+    stats.preprocess_flights = channel.phase_flights(net::Phase::kPreprocess);
     return stats;
 }
 

@@ -21,7 +21,9 @@
 /// — see examples/pi_server.cpp and examples/pi_client.cpp.
 
 #include <functional>
+#include <optional>
 
+#include "mpc/nonlinear.hpp"
 #include "net/runtime.hpp"
 #include "pi/compiled_model.hpp"
 
@@ -36,6 +38,24 @@ struct SessionConfig {
     /// (C2PI's extra defense; ignored for full PI).
     float noise_lambda = 0.0F;
     std::uint64_t seed = kDefaultSeed;
+    /// Nonlinear-layer backend override. nullopt = the protocol family's
+    /// native choice (Delphi -> garbled circuits, Cheetah -> OT
+    /// millionaire). The server's resolved choice is authoritative: it is
+    /// announced at session start, and a client whose own explicit choice
+    /// differs raises NonlinearMismatch instead of hanging mid-protocol.
+    std::optional<mpc::NonlinearBackend> nonlinear;
+};
+
+/// The server's resolved nonlinear backend for this config.
+[[nodiscard]] mpc::NonlinearBackend resolve_nonlinear(const SessionConfig& config);
+
+/// Short stable name ("gc", "ot", "fss") for flags and stats lines.
+[[nodiscard]] const char* nonlinear_name(mpc::NonlinearBackend backend);
+
+/// Typed negotiation failure: the server announced a nonlinear backend
+/// and the client was explicitly configured for a different one.
+struct NonlinearMismatch final : Error {
+    NonlinearMismatch(mpc::NonlinearBackend server_choice, mpc::NonlinearBackend client_choice);
 };
 
 /// The model owner's side of one private inference.
@@ -76,6 +96,7 @@ public:
         : artifact_(&model.artifact()),
           bfv_(&model.bfv()),
           caches_(&model.layer_caches()),
+          gc_cache_(&model.gc_cache()),
           config_(config) {}
 
     /// In-process convenience: borrow the public half of a server-side
@@ -86,6 +107,7 @@ public:
         : artifact_(&model.artifact()),
           bfv_(&model.bfv()),
           caches_(&model.layer_caches()),
+          gc_cache_(&model.gc_cache()),
           config_(config) {}
 
     /// Run one private inference on a [1,C,H,W] input matching the
@@ -99,6 +121,7 @@ private:
     const ModelArtifact* artifact_;
     const he::BfvContext* bfv_;
     const std::vector<LayerCache>* caches_;
+    mpc::GcCircuitCache* gc_cache_;
     SessionConfig config_;
 };
 

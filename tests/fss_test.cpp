@@ -1,0 +1,268 @@
+// Unit and integration tests for the FSS comparison subsystem
+// (src/fss/): the DCF primitive against a plaintext comparison oracle,
+// the interval-containment ReLU material, the KEYS-frame batch codec,
+// and the kFss backend at the session layer — cross-backend logit
+// parity (bit-identical vs GC and OT), the preprocessing traffic
+// bucket, and the typed NonlinearMismatch negotiation error. The
+// secure_relu/secure_maxpool protocol-level coverage lives in
+// mpc_test.cpp (kFss is a parameterization there); TCP-transport parity
+// for kFss lives next to the other transport parity cases in
+// tcp_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "crypto/ot.hpp"
+#include "fss/compare.hpp"
+#include "fss/dcf.hpp"
+#include "nn/layers.hpp"
+#include "pi/session.hpp"
+
+namespace c2pi::fss {
+namespace {
+
+constexpr Ring kMid = Ring{1} << 63;
+constexpr Ring kMax = ~Ring{0};
+
+/// Plaintext oracle: f(x) = beta if x < alpha else 0, unsigned.
+DcfPayload oracle(Ring alpha, const DcfPayload& beta, Ring x) {
+    return x < alpha ? beta : DcfPayload{};
+}
+
+TEST(Dcf, MatchesComparisonOracleOnBoundaryAndRandomInputs) {
+    crypto::ChaCha20Prg prg(crypto::Block128{0x5EED, 0xF55}, 1);
+    const DcfPayload beta{1, 0x1234'5678'9ABC'DEF0ULL};
+
+    std::vector<Ring> alphas = {0, 1, kMid, kMax};
+    for (int i = 0; i < 4; ++i) alphas.push_back(prg.next_u64());
+
+    for (const Ring alpha : alphas) {
+        const DcfKeyPair keys = dcf_gen(alpha, beta, prg);
+        std::vector<Ring> xs = {0,         1,         alpha - 1, alpha,
+                                alpha + 1, kMid - 1,  kMid,      kMax};
+        for (int i = 0; i < 8; ++i) xs.push_back(prg.next_u64());
+        for (const Ring x : xs) {
+            const DcfPayload sum = dcf_eval(keys.k0, 0, x) + dcf_eval(keys.k1, 1, x);
+            EXPECT_EQ(sum, oracle(alpha, beta, x))
+                << "alpha=" << alpha << " x=" << x << " (u=" << sum.u << " v=" << sum.v << ")";
+        }
+    }
+}
+
+TEST(Dcf, SingleKeyRevealsNothingObviouslyStructured) {
+    // Not a cryptographic test — just a sanity check that one share alone
+    // is not the function: party 0's eval at points straddling alpha must
+    // not already equal the oracle (the correction from party 1 matters).
+    crypto::ChaCha20Prg prg(crypto::Block128{7, 7}, 2);
+    const Ring alpha = kMid;
+    const DcfPayload beta{1, 99};
+    const DcfKeyPair keys = dcf_gen(alpha, beta, prg);
+    int disagreements = 0;
+    for (Ring x : {Ring{0}, alpha - 1, alpha, alpha + 1, kMax})
+        if (dcf_eval(keys.k0, 0, x) != oracle(alpha, beta, x)) ++disagreements;
+    EXPECT_GT(disagreements, 0);
+}
+
+TEST(Dcf, KeyCodecRoundTripsBitExactly) {
+    crypto::ChaCha20Prg prg(crypto::Block128{0xC0DE, 0xC}, 3);
+    const DcfKeyPair keys = dcf_gen(prg.next_u64(), DcfPayload{1, prg.next_u64()}, prg);
+
+    std::vector<std::uint8_t> bytes(DcfKey::kSerializedBytes);
+    keys.k1.serialize_into(bytes.data());
+    const DcfKey back = DcfKey::deserialize(bytes.data());
+
+    std::vector<std::uint8_t> again(DcfKey::kSerializedBytes);
+    back.serialize_into(again.data());
+    EXPECT_EQ(bytes, again);
+    for (int i = 0; i < 16; ++i) {
+        const Ring x = prg.next_u64();
+        EXPECT_EQ(dcf_eval(back, 1, x), dcf_eval(keys.k1, 1, x));
+    }
+}
+
+TEST(FssRelu, MaterialEvaluatesToReluOverSignedBoundaryValues) {
+    crypto::ChaCha20Prg prg(crypto::Block128{0xABCD, 0x1}, 4);
+    // Signed boundary values encoded into the unsigned ring: zero, +/-1,
+    // the most negative value (ring midpoint), the most positive value.
+    const std::vector<Ring> ys = {0,        1,        Ring{0} - 1, kMid,
+                                  kMid - 1, kMid + 1, 1000,        Ring{0} - 1000};
+    for (int trial = 0; trial < 8; ++trial) {
+        const ReluKeyPair pair = gen_relu_material(prg);
+        const Ring r = pair.server.r_share + pair.client.r_share;
+        for (const Ring y : ys) {
+            const Ring z = y + r;  // the reconstructed masked value
+            const Ring got = eval_relu(pair.server, 0, z) + eval_relu(pair.client, 1, z);
+            const Ring want = y < kMid ? y : 0;  // ReLU under signed semantics
+            EXPECT_EQ(got, want) << "trial=" << trial << " y=" << y;
+        }
+        for (int i = 0; i < 8; ++i) {
+            const Ring y = prg.next_u64();
+            const Ring z = y + r;
+            EXPECT_EQ(eval_relu(pair.server, 0, z) + eval_relu(pair.client, 1, z),
+                      y < kMid ? y : 0);
+        }
+    }
+}
+
+TEST(FssRelu, BatchCodecRoundTripsAndRejectsTruncation) {
+    crypto::ChaCha20Prg prg(crypto::Block128{0xBA7C, 0x2}, 5);
+    std::vector<ReluKeyShare> batch;
+    for (int i = 0; i < 3; ++i) batch.push_back(gen_relu_material(prg).client);
+
+    const std::vector<std::uint8_t> bytes = serialize_batch(batch);
+    ASSERT_EQ(bytes.size(), 3 * ReluKeyShare::kSerializedBytes);
+    const std::vector<ReluKeyShare> back = deserialize_batch(bytes);
+    ASSERT_EQ(back.size(), batch.size());
+    EXPECT_EQ(serialize_batch(back), bytes);
+
+    std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 1);
+    EXPECT_THROW((void)deserialize_batch(truncated), Error);
+}
+
+// ------------------------------------------------- session integration ---
+
+/// Smaller than pi_test's reference net (one conv block) but still
+/// covering every nonlinear protocol: ReLU and 2x2 maxpool.
+nn::Sequential make_fss_test_model() {
+    Rng rng(21);
+    nn::Sequential m;
+    m.emplace<nn::Conv2d>(3, 4, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng);
+    m.emplace<nn::Relu>();
+    m.emplace<nn::MaxPool2d>(2, 2);
+    m.emplace<nn::Flatten>();
+    m.emplace<nn::Linear>(4 * 4 * 4, 8, rng);
+    m.emplace<nn::Relu>();
+    m.emplace<nn::Linear>(8, 5, rng);
+    return m;
+}
+
+pi::CompiledModel::Options fss_compile_options(bool full_pi) {
+    pi::CompiledModel::Options opts;
+    opts.input_chw = {3, 8, 8};
+    opts.he_ring_degree = 1024;
+    if (!full_pi) opts.boundary = nn::CutPoint{.linear_index = 1, .after_relu = true};
+    return opts;
+}
+
+Tensor make_fss_test_input() {
+    Rng rng(22);
+    return Tensor::uniform({1, 3, 8, 8}, rng, 0.0F, 1.0F);
+}
+
+struct ParityCase {
+    const char* name;
+    pi::PiBackend backend;
+    bool full_pi;
+};
+
+class CrossBackendParityTest : public ::testing::TestWithParam<ParityCase> {};
+
+/// The tentpole acceptance criterion: for one compiled model and one
+/// input, the three nonlinear backends must produce BIT-IDENTICAL
+/// logits. The nonlinear protocols differ in how shares are produced
+/// but reconstruct the same ring values, and everything downstream of
+/// reconstruction is deterministic.
+TEST_P(CrossBackendParityTest, LogitsBitIdenticalAcrossNonlinearBackends) {
+    const ParityCase& pc = GetParam();
+    const nn::Sequential model = make_fss_test_model();
+    const pi::CompiledModel compiled(model, fss_compile_options(pc.full_pi));
+    const Tensor input = make_fss_test_input();
+
+    pi::SessionConfig config{.backend = pc.backend};
+    config.nonlinear = mpc::NonlinearBackend::kGarbledCircuit;
+    const pi::PiResult gc = pi::run_private_inference(compiled, config, input);
+    config.nonlinear = mpc::NonlinearBackend::kOtMillionaire;
+    const pi::PiResult ot = pi::run_private_inference(compiled, config, input);
+    config.nonlinear = mpc::NonlinearBackend::kFss;
+    const pi::PiResult fss = pi::run_private_inference(compiled, config, input);
+
+    ASSERT_TRUE(gc.logits.same_shape(fss.logits));
+    ASSERT_TRUE(ot.logits.same_shape(fss.logits));
+    for (std::int64_t i = 0; i < gc.logits.numel(); ++i) {
+        EXPECT_EQ(gc.logits[i], fss.logits[i]) << "gc vs fss, logit " << i;
+        EXPECT_EQ(ot.logits[i], fss.logits[i]) << "ot vs fss, logit " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CrossBackendParityTest,
+    ::testing::Values(ParityCase{"CheetahFullPi", pi::PiBackend::kCheetah, true},
+                      ParityCase{"DelphiFullPi", pi::PiBackend::kDelphi, true},
+                      ParityCase{"CheetahCryptoClear", pi::PiBackend::kCheetah, false}),
+    [](const auto& info) { return info.param.name; });
+
+/// The satellite acceptance criterion: FSS moves the nonlinear traffic
+/// into the preprocessing bucket, so for the same model its ONLINE bytes
+/// must be strictly below GC's, while GC ships nothing in preprocessing.
+TEST(FssSession, OnlineBytesStrictlyBelowGc) {
+    const nn::Sequential model = make_fss_test_model();
+    const pi::CompiledModel compiled(model, fss_compile_options(/*full_pi=*/true));
+    const Tensor input = make_fss_test_input();
+
+    pi::SessionConfig config;
+    config.nonlinear = mpc::NonlinearBackend::kGarbledCircuit;
+    const pi::PiResult gc = pi::run_private_inference(compiled, config, input);
+    config.nonlinear = mpc::NonlinearBackend::kFss;
+    const pi::PiResult fss = pi::run_private_inference(compiled, config, input);
+
+    EXPECT_EQ(gc.stats.preprocess_bytes, 0U);
+    EXPECT_EQ(gc.stats.preprocess_flights, 0U);
+    // The preprocessing bucket holds exactly the plan-sized key shipment
+    // (no flight of its own: the KEYS frame rides the server->client
+    // flight the dealer-setup message already opened).
+    EXPECT_EQ(fss.stats.preprocess_bytes,
+              pi::count_fss_comparisons(compiled.plan()) * ReluKeyShare::kSerializedBytes);
+    EXPECT_LT(fss.stats.online_bytes, gc.stats.online_bytes)
+        << "FSS online traffic must undercut GC once keys are preprocessed";
+}
+
+TEST(FssSession, MismatchedClientRaisesTypedError) {
+    const nn::Sequential model = make_fss_test_model();
+    const pi::CompiledModel compiled(model, fss_compile_options(/*full_pi=*/true));
+    const Tensor input = make_fss_test_input();
+
+    // Scripted fake server: send only the dealer-setup message, with the
+    // trailing byte announcing kFss, then return. The real client is
+    // explicitly configured for GC and must fail with the TYPED mismatch
+    // error before any protocol round (a real server/client pair would
+    // otherwise hang mid-protocol).
+    pi::SessionConfig client_config;
+    client_config.nonlinear = mpc::NonlinearBackend::kGarbledCircuit;
+    const pi::ClientSession client(compiled, client_config);
+
+    net::DuplexChannel channel;
+    EXPECT_THROW(
+        (void)net::run_two_party(
+            channel,
+            [](net::Transport& t) {
+                std::vector<std::uint8_t> setup(crypto::OtSetupPair::setup_traffic_bytes() + 1);
+                setup.back() = static_cast<std::uint8_t>(mpc::NonlinearBackend::kFss);
+                t.send_bytes(setup);
+            },
+            [&](net::Transport& t) { (void)client.run(t, input); }),
+        pi::NonlinearMismatch);
+}
+
+TEST(FssSession, UnknownAnnouncedBackendRejected) {
+    const nn::Sequential model = make_fss_test_model();
+    const pi::CompiledModel compiled(model, fss_compile_options(/*full_pi=*/true));
+    const Tensor input = make_fss_test_input();
+
+    const pi::ClientSession client(compiled, pi::SessionConfig{});
+    net::DuplexChannel channel;
+    EXPECT_THROW((void)net::run_two_party(
+                     channel,
+                     [](net::Transport& t) {
+                         std::vector<std::uint8_t> setup(
+                             crypto::OtSetupPair::setup_traffic_bytes() + 1);
+                         setup.back() = 0x7F;  // no such backend
+                         t.send_bytes(setup);
+                     },
+                     [&](net::Transport& t) { (void)client.run(t, input); }),
+                 Error);
+}
+
+}  // namespace
+}  // namespace c2pi::fss

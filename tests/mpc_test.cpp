@@ -166,7 +166,8 @@ TEST_P(SecureReluTest, MatchesPlaintextRelu) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, SecureReluTest,
                          ::testing::Values(NonlinearBackend::kGarbledCircuit,
-                                           NonlinearBackend::kOtMillionaire));
+                                           NonlinearBackend::kOtMillionaire,
+                                           NonlinearBackend::kFss));
 
 TEST(SecureRelu, GcBackendHonoursPinnedClientShare) {
     MpcFixture fx;
@@ -227,7 +228,8 @@ TEST_P(SecureMaxPoolTest, MatchesPlaintextMaxPool) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, SecureMaxPoolTest,
                          ::testing::Values(NonlinearBackend::kGarbledCircuit,
-                                           NonlinearBackend::kOtMillionaire));
+                                           NonlinearBackend::kOtMillionaire,
+                                           NonlinearBackend::kFss));
 
 TEST(Reveal, BothPartiesRecoverValue) {
     MpcFixture fx;

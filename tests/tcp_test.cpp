@@ -237,8 +237,10 @@ void check_tcp_parity(bool full_pi, pi::SessionConfig config) {
     const pi::PiStats tcp = pi::stats_from_channel(run.client_stats);
     EXPECT_EQ(tcp.offline_bytes, reference.stats.offline_bytes);
     EXPECT_EQ(tcp.online_bytes, reference.stats.online_bytes);
+    EXPECT_EQ(tcp.preprocess_bytes, reference.stats.preprocess_bytes);
     EXPECT_EQ(tcp.offline_flights, reference.stats.offline_flights);
     EXPECT_EQ(tcp.online_flights, reference.stats.online_flights);
+    EXPECT_EQ(tcp.preprocess_flights, reference.stats.preprocess_flights);
 }
 
 TEST(TcpInferenceParity, CryptoClearBoundaryWithNoise) {
@@ -247,6 +249,15 @@ TEST(TcpInferenceParity, CryptoClearBoundaryWithNoise) {
 
 TEST(TcpInferenceParity, FullPiCheetah) {
     check_tcp_parity(/*full_pi=*/true, pi::SessionConfig{.seed = 9});
+}
+
+TEST(TcpInferenceParity, FullPiFssPreprocessKeysFrame) {
+    // kFss ships its DCF key batch in the preprocessing KEYS frame; the
+    // frame must survive the wire with the same accounting the in-process
+    // channel reports (same bytes, same phase bucket) and identical logits.
+    pi::SessionConfig config{.seed = 13};
+    config.nonlinear = mpc::NonlinearBackend::kFss;
+    check_tcp_parity(/*full_pi=*/true, config);
 }
 
 TEST(TcpInferenceParity, DelphiOfflinePhaseAttribution) {
