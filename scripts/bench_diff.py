@@ -19,6 +19,12 @@ fails the gate with a nonzero exit. Cold paths only ever warn — CI
 runners are noisy, and the gate should catch real hot-loop regressions,
 not scheduler jitter on a 2 us NTT.
 
+A bench present in the baseline but MISSING from the fresh run is a
+hard failure regardless of hot/cold: silently dropping a deleted bench
+is how a removed hot-loop measurement (and whatever regression it was
+guarding) escapes the gate. Deleting a bench on purpose means
+refreshing the baseline in the same change.
+
 Caveat (by construction): a change that slows EVERY bench uniformly is
 indistinguishable from a slower machine and will not trip the gate; the
 printed machine factor is the place to notice it.
@@ -88,13 +94,19 @@ def main():
               "different machine, build type, or a global shift; deltas below are "
               "relative to that factor", file=sys.stderr)
 
-    failures, warnings = [], []
+    failures, warnings, improvements = [], [], []
     width = max(len(name) for name in sorted(set(baseline) | set(fresh)))
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}")
     for name in sorted(set(baseline) | set(fresh)):
         if name not in fresh:
-            warnings.append(f"{name}: present in baseline but not in fresh run")
-            print(f"{name:<{width}}  {baseline[name]:>10.0f}ns  {'gone':>12}  {'--':>8}")
+            # Hard failure, not a warning: a bench that silently vanishes
+            # from the run is exactly how a deleted hot-loop bench (and the
+            # regression it would have caught) escapes the gate. Removing a
+            # bench on purpose means removing it from the baseline too.
+            failures.append(f"{name}: present in baseline but missing from fresh run "
+                            "(deleted bench? refresh the baseline to drop it)")
+            print(f"{name:<{width}}  {baseline[name]:>10.0f}ns  {'gone':>12}  "
+                  f"{'--':>8}  FAIL")
             continue
         if name not in baseline:
             print(f"{name:<{width}}  {'new':>12}  {fresh[name]:>10.0f}ns  {'--':>8}")
@@ -108,16 +120,30 @@ def main():
         elif delta > args.warn:
             warnings.append(f"{name}: {delta:+.1%} (warn threshold {args.warn:.0%})")
             flag = "  WARN"
+        elif delta < -args.fail:
+            improvements.append(f"{name}: {delta:+.1%}")
+            flag = "  IMPROVED"
         print(f"{name:<{width}}  {baseline[name]:>10.0f}ns  {fresh[name]:>10.0f}ns  "
               f"{delta:>+7.1%}{flag}")
 
+    if improvements:
+        # Large machine-normalized speedups are great news but also stale
+        # baselines: until the baseline is refreshed the gate's median is
+        # skewed and a later regression back to the OLD numbers would pass
+        # silently. Nudge toward landing the win in the baseline (protocol
+        # in docs/API.md and --help above).
+        print(f"NOTE: {len(improvements)} bench(es) improved by more than "
+              f"{args.fail:.0%} machine-normalized — if intentional, refresh "
+              "bench/baseline/BENCH_micro.json so the new numbers become the "
+              "floor (see --help)", file=sys.stderr)
     for message in warnings:
         print(f"WARNING: {message}", file=sys.stderr)
     for message in failures:
         print(f"FAILURE: {message}", file=sys.stderr)
     if failures:
         print("perf gate: FAILED — a server-online hot loop regressed relative to "
-              "the rest of the suite; if this slowdown is intentional, refresh "
+              "the rest of the suite, or a baselined bench is missing from the "
+              "run; if the change is intentional, refresh "
               "bench/baseline/BENCH_micro.json (see --help)", file=sys.stderr)
         return 1
     print(f"perf gate: OK ({len(warnings)} warning(s))")

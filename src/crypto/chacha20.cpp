@@ -1,38 +1,12 @@
 #include "crypto/chacha20.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "core/error.hpp"
+#include "he/kernels.hpp"
 
 namespace c2pi::crypto {
-
-namespace {
-inline std::uint32_t rotl32(std::uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
-
-inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
-    a += b; d ^= a; d = rotl32(d, 16);
-    c += d; b ^= c; b = rotl32(b, 12);
-    a += b; d ^= a; d = rotl32(d, 8);
-    c += d; b ^= c; b = rotl32(b, 7);
-}
-
-void chacha20_block(const std::uint32_t state[16], std::uint8_t out[64]) {
-    std::uint32_t x[16];
-    std::memcpy(x, state, sizeof(x));
-    for (int round = 0; round < 10; ++round) {
-        quarter_round(x[0], x[4], x[8], x[12]);
-        quarter_round(x[1], x[5], x[9], x[13]);
-        quarter_round(x[2], x[6], x[10], x[14]);
-        quarter_round(x[3], x[7], x[11], x[15]);
-        quarter_round(x[0], x[5], x[10], x[15]);
-        quarter_round(x[1], x[6], x[11], x[12]);
-        quarter_round(x[2], x[7], x[8], x[13]);
-        quarter_round(x[3], x[4], x[9], x[14]);
-    }
-    for (int i = 0; i < 16; ++i) {
-        const std::uint32_t v = x[i] + state[i];
-        std::memcpy(out + 4 * i, &v, 4);
-    }
-}
-}  // namespace
 
 ChaCha20Prg::ChaCha20Prg(const Block128& seed, std::uint64_t nonce) {
     std::uint8_t key[32];
@@ -55,17 +29,41 @@ ChaCha20Prg::ChaCha20Prg(std::span<const std::uint8_t> key32, std::uint64_t nonc
     state_[15] = 0;
 }
 
+void ChaCha20Prg::generate(std::uint8_t* dst, std::size_t nblocks) {
+    // The block function (RFC 8439) lives in the SIMD kernel layer so
+    // long streams run 8 blocks wide; state_[12]/state_[13] act as one
+    // 64-bit little-endian counter, exactly as the former single-block
+    // refill incremented it.
+    he::kernels::active().chacha20_blocks(state_, dst, nblocks);
+    std::uint64_t counter = static_cast<std::uint64_t>(state_[12]) |
+                            (static_cast<std::uint64_t>(state_[13]) << 32);
+    counter += nblocks;
+    state_[12] = static_cast<std::uint32_t>(counter);
+    state_[13] = static_cast<std::uint32_t>(counter >> 32);
+}
+
 void ChaCha20Prg::refill() {
-    chacha20_block(state_, buffer_);
+    generate(buffer_, refill_blocks_);
+    buffer_len_ = refill_blocks_ * 64;
     buffer_pos_ = 0;
-    if (++state_[12] == 0) ++state_[13];  // 64-bit effective counter
+    refill_blocks_ = std::min(refill_blocks_ * 2, kMaxRefillBlocks);
 }
 
 void ChaCha20Prg::fill_bytes(std::span<std::uint8_t> out) {
     std::size_t off = 0;
     while (off < out.size()) {
-        if (buffer_pos_ == 64) refill();
-        const std::size_t take = std::min<std::size_t>(64 - buffer_pos_, out.size() - off);
+        if (buffer_pos_ == buffer_len_) {
+            // Whole blocks go straight to the destination, bypassing the
+            // buffer (same keystream bytes, no copy).
+            const std::size_t whole = (out.size() - off) / 64;
+            if (whole > 0) {
+                generate(out.data() + off, whole);
+                off += whole * 64;
+                if (off == out.size()) return;
+            }
+            refill();
+        }
+        const std::size_t take = std::min<std::size_t>(buffer_len_ - buffer_pos_, out.size() - off);
         std::memcpy(out.data() + off, buffer_ + buffer_pos_, take);
         buffer_pos_ += take;
         off += take;

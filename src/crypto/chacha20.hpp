@@ -27,11 +27,21 @@ public:
     [[nodiscard]] std::vector<std::uint8_t> next_bits(std::size_t n);
 
 private:
+    void generate(std::uint8_t* dst, std::size_t nblocks);
     void refill();
 
     std::uint32_t state_[16] = {};
-    std::uint8_t buffer_[64] = {};
-    std::size_t buffer_pos_ = 64;  // empty
+    // Keystream cache, refilled through the batched (SIMD-dispatched)
+    // block kernel. The refill size doubles 1 -> 2 -> 4 -> 8 blocks so a
+    // short-lived PRG (e.g. one DCF GGM node = one block) computes no
+    // more than before, while long streams amortize into full-width
+    // batches. The byte stream itself is pure counter mode and identical
+    // regardless of batching.
+    static constexpr std::size_t kMaxRefillBlocks = 8;
+    std::uint8_t buffer_[kMaxRefillBlocks * 64] = {};
+    std::size_t buffer_len_ = 0;
+    std::size_t buffer_pos_ = 0;  // == buffer_len_: empty
+    std::size_t refill_blocks_ = 1;
 };
 
 }  // namespace c2pi::crypto

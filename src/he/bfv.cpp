@@ -90,6 +90,21 @@ BfvContext::BfvContext(Params params) : params_(params) {
         }
         q3_inv_mod_q4_ = inv_mod(primes_[2] % primes_[3], primes_[3]);
         q3_inv_shoup_ = shoup_precompute(q3_inv_mod_q4_, primes_[3]);
+
+        ms_consts_.q3 = primes_[2];
+        ms_consts_.q4 = primes_[3];
+        ms_consts_.one_shoup_q4 = one_shoup_[3];
+        ms_consts_.q3_inv = q3_inv_mod_q4_;
+        ms_consts_.q3_inv_shoup = q3_inv_shoup_;
+        for (int i = 0; i < 2; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            ms_consts_.p[i] = primes_[ui];
+            ms_consts_.one_shoup[i] = one_shoup_[ui];
+            ms_consts_.r64[i] = r64_mod_[i];
+            ms_consts_.r64_shoup[i] = r64_shoup_[i];
+            ms_consts_.drop_inv[i] = drop_inv_mod_[i];
+            ms_consts_.drop_inv_shoup[i] = drop_inv_shoup_[i];
+        }
     }
 }
 
@@ -321,18 +336,17 @@ void BfvContext::multiply_plain_accumulate(const Ciphertext& ct_ntt, const Plain
     require(ct_ntt.ntt_form && acc.ntt_form, "multiply_plain_accumulate expects NTT operands");
     require(ct_ntt.active_limbs() == params_.limbs, "operand must be at fresh modulus");
     require(plain_ntt.active_limbs() == params_.limbs, "precomputed plain must be fresh-limb");
+    const auto& kr = kernels::active();
     core::parallel_for(params_.pool, 0, static_cast<std::int64_t>(primes_.size()),
                        [&](std::int64_t limb) {
         const auto i = static_cast<std::size_t>(limb);
         const u64 p = primes_[i];
         const auto& w = plain_ntt.limbs[i];
         const auto& ws = plain_ntt.shoup[i];
-        for (std::size_t j = 0; j < params_.n; ++j) {
-            acc.c0.limbs[i][j] =
-                add_mod(acc.c0.limbs[i][j], mul_mod_shoup(ct_ntt.c0.limbs[i][j], w[j], ws[j], p), p);
-            acc.c1.limbs[i][j] =
-                add_mod(acc.c1.limbs[i][j], mul_mod_shoup(ct_ntt.c1.limbs[i][j], w[j], ws[j], p), p);
-        }
+        kr.mul_shoup_accumulate(acc.c0.limbs[i].data(), ct_ntt.c0.limbs[i].data(), w.data(),
+                                ws.data(), params_.n, p);
+        kr.mul_shoup_accumulate(acc.c1.limbs[i].data(), ct_ntt.c1.limbs[i].data(), w.data(),
+                                ws.data(), params_.n, p);
     });
 }
 
@@ -344,6 +358,7 @@ void BfvContext::multiply_plain(const Ciphertext& ct_ntt, const PlainNtt& plain_
     const auto limbs = static_cast<std::size_t>(params_.limbs);
     out.c0.limbs.resize(limbs);
     out.c1.limbs.resize(limbs);
+    const auto& kr = kernels::active();
     core::parallel_for(params_.pool, 0, static_cast<std::int64_t>(limbs), [&](std::int64_t limb) {
         const auto i = static_cast<std::size_t>(limb);
         const u64 p = primes_[i];
@@ -351,10 +366,10 @@ void BfvContext::multiply_plain(const Ciphertext& ct_ntt, const PlainNtt& plain_
         const auto& ws = plain_ntt.shoup[i];
         out.c0.limbs[i].resize(params_.n);
         out.c1.limbs[i].resize(params_.n);
-        for (std::size_t j = 0; j < params_.n; ++j) {
-            out.c0.limbs[i][j] = mul_mod_shoup(ct_ntt.c0.limbs[i][j], w[j], ws[j], p);
-            out.c1.limbs[i][j] = mul_mod_shoup(ct_ntt.c1.limbs[i][j], w[j], ws[j], p);
-        }
+        kr.mul_shoup(out.c0.limbs[i].data(), ct_ntt.c0.limbs[i].data(), w.data(), ws.data(),
+                     params_.n, p);
+        kr.mul_shoup(out.c1.limbs[i].data(), ct_ntt.c1.limbs[i].data(), w.data(), ws.data(),
+                     params_.n, p);
     });
     out.c0.ntt_form = out.c1.ntt_form = true;
     out.ntt_form = true;
@@ -366,16 +381,10 @@ void BfvContext::add_plain_inplace(Ciphertext& ct, std::span<const Ring> plain) 
     require(ct.active_limbs() == params_.limbs,
             "add_plain only supported at the fresh modulus (see DESIGN.md §6)");
     require(plain.size() <= params_.n, "plain poly longer than ring degree");
+    const auto& kr = kernels::active();
     for (std::size_t i = 0; i < primes_.size(); ++i) {
-        const u64 p = primes_[i];
-        const u64 one_shoup = one_shoup_[i];
-        const u64 delta = delta_mod_[i];
-        const u64 delta_shoup = delta_shoup_[i];
-        for (std::size_t j = 0; j < plain.size(); ++j) {
-            const u64 m = lift_signed_shoup(plain[j], p, one_shoup);
-            ct.c0.limbs[i][j] =
-                add_mod(ct.c0.limbs[i][j], mul_mod_shoup(m, delta, delta_shoup, p), p);
-        }
+        kr.fold_delta(ct.c0.limbs[i].data(), plain.data(), plain.size(), primes_[i],
+                      one_shoup_[i], delta_mod_[i], delta_shoup_[i]);
     }
     ct.seed_compressed = false;
 }
@@ -407,31 +416,10 @@ void BfvContext::add_plain_at(Ciphertext& ct, std::span<const std::int64_t> posi
 void BfvContext::mod_switch_to_two_limbs(Ciphertext& ct) const {
     require(!ct.ntt_form, "mod switch expects coefficient form");
     require(ct.active_limbs() == 4, "mod switch implemented for 4 -> 2 limbs");
-    const u64 q3 = primes_[2], q4 = primes_[3];
-    const u64 one_shoup_q4 = one_shoup_[3];
-
+    const auto& kr = kernels::active();
     for (RnsPoly* poly : {&ct.c0, &ct.c1}) {
-        for (std::size_t j = 0; j < params_.n; ++j) {
-            const u64 c3 = poly->limbs[2][j];
-            const u64 c4 = poly->limbs[3][j];
-            // CRT compose the dropped part: v = c3 + q3 * ((c4 - c3) q3^{-1} mod q4).
-            const u64 w = mul_mod_shoup(sub_mod(reduce_mod_shoup(c4, one_shoup_q4, q4),
-                                                reduce_mod_shoup(c3, one_shoup_q4, q4), q4),
-                                        q3_inv_mod_q4_, q3_inv_shoup_, q4);
-            const u128 v = static_cast<u128>(c3) + static_cast<u128>(q3) * w;
-            // v mod p via the split v = hi·2^64 + lo (hi < 2^34), with
-            // precomputed 2^64 mod p — no 128-bit division on this path.
-            const u64 hi = static_cast<u64>(v >> 64);
-            const u64 lo = static_cast<u64>(v);
-            for (int i = 0; i < 2; ++i) {
-                const auto ui = static_cast<std::size_t>(i);
-                const u64 p = primes_[ui];
-                const u64 v_mod = add_mod(mul_mod_shoup(hi, r64_mod_[i], r64_shoup_[i], p),
-                                          reduce_mod_shoup(lo, one_shoup_[ui], p), p);
-                poly->limbs[ui][j] = mul_mod_shoup(sub_mod(poly->limbs[ui][j], v_mod, p),
-                                                   drop_inv_mod_[i], drop_inv_shoup_[i], p);
-            }
-        }
+        kr.mod_switch_4to2(poly->limbs[0].data(), poly->limbs[1].data(), poly->limbs[2].data(),
+                           poly->limbs[3].data(), params_.n, ms_consts_);
         poly->limbs.resize(2);
     }
     ct.seed_compressed = false;

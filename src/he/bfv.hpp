@@ -166,6 +166,7 @@ private:
     u64 r64_shoup_[2] = {};
     u64 q3_inv_mod_q4_ = 0;               ///< q3^{-1} mod q4, hoisted out of mod switch
     u64 q3_inv_shoup_ = 0;
+    kernels::ModSwitchConsts ms_consts_;  ///< the same constants, kernel layout
 };
 
 }  // namespace c2pi::he

@@ -1,0 +1,94 @@
+#include "he/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace c2pi::he::kernels {
+
+bool cpu_supports(Tier tier) {
+    switch (tier) {
+        case Tier::kScalar:
+            return true;
+#if defined(__x86_64__) || defined(__i386__)
+        case Tier::kAvx2:
+            return __builtin_cpu_supports("avx2") != 0;
+        case Tier::kAvx512:
+            // F for the 512-bit registers, DQ for 64-bit mullo, BW for the
+            // byte shuffles in the ChaCha20 rotations, VL for the 256-bit
+            // tail ops — the kernel TU is compiled with exactly this set.
+            return __builtin_cpu_supports("avx512f") != 0 &&
+                   __builtin_cpu_supports("avx512dq") != 0 &&
+                   __builtin_cpu_supports("avx512bw") != 0 &&
+                   __builtin_cpu_supports("avx512vl") != 0;
+#endif
+        default:
+            return false;
+    }
+}
+
+namespace {
+
+const Kernels* registered(Tier tier) {
+    switch (tier) {
+        case Tier::kScalar: return scalar_kernels();
+        case Tier::kAvx2: return avx2_kernels();
+        case Tier::kAvx512: return avx512_kernels();
+    }
+    return nullptr;
+}
+
+/// Compiled in AND usable on this CPU.
+const Kernels* usable(Tier tier) {
+    const Kernels* k = registered(tier);
+    return (k != nullptr && cpu_supports(tier)) ? k : nullptr;
+}
+
+const Kernels* resolve() {
+    if (const char* env = std::getenv("C2PI_KERNELS"); env != nullptr && env[0] != '\0') {
+        const Kernels* k = by_name(env);
+        require(k != nullptr, std::string("C2PI_KERNELS=") + env +
+                                  " names an unknown kernel tier or one this CPU/build "
+                                  "does not support (valid: scalar, avx2, avx512)");
+        return k;
+    }
+    if (const Kernels* k = usable(Tier::kAvx512)) return k;
+    if (const Kernels* k = usable(Tier::kAvx2)) return k;
+    return scalar_kernels();
+}
+
+std::atomic<const Kernels*> g_override{nullptr};
+
+}  // namespace
+
+const Kernels& active() {
+    if (const Kernels* forced = g_override.load(std::memory_order_acquire))
+        return *forced;
+    static const Kernels* const resolved = resolve();
+    return *resolved;
+}
+
+const std::vector<const Kernels*>& supported() {
+    static const std::vector<const Kernels*> list = [] {
+        std::vector<const Kernels*> v{scalar_kernels()};
+        if (const Kernels* k = usable(Tier::kAvx2)) v.push_back(k);
+        if (const Kernels* k = usable(Tier::kAvx512)) v.push_back(k);
+        return v;
+    }();
+    return list;
+}
+
+const Kernels* by_name(std::string_view name) {
+    if (name == "scalar") return scalar_kernels();
+    if (name == "avx2") return usable(Tier::kAvx2);
+    if (name == "avx512") return usable(Tier::kAvx512);
+    return nullptr;
+}
+
+void set_active_for_testing(const Kernels* k) {
+    g_override.store(k, std::memory_order_release);
+}
+
+}  // namespace c2pi::he::kernels

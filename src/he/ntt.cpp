@@ -46,68 +46,28 @@ NttTables::NttTables(u64 prime, std::size_t n) : prime_(prime), n_(n) {
     n_inv_shoup_ = shoup_precompute(n_inv_, prime);
 }
 
+// The butterfly passes themselves live in the kernels layer
+// (he/kernels*.cpp): the scalar variant is the Harvey lazy-reduction /
+// Gentleman-Sande code that used to be inlined here, and the SIMD
+// variants reproduce it bit-for-bit.
+
 void NttTables::forward(std::vector<u64>& a) const {
-    require(a.size() == n_, "NTT operand size mismatch");
-    // Harvey-style lazy butterflies: values stay below 4p between stages
-    // (fine for ~49-bit primes; 4p < 2^51), the twiddle product accepts
-    // any operand < 2^64 and returns a value < 2p, and a single final
-    // pass reduces to [0, p). Output is bit-identical to the per-butterfly
-    // exact reduction it replaced.
-    const u64 p = prime_;
-    const u64 two_p = 2 * p;
-    std::size_t t = n_;
-    for (std::size_t m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (std::size_t i = 0; i < m; ++i) {
-            const std::size_t j1 = 2 * i * t;
-            const u64 s = psi_rev_[m + i];
-            const u64 s_shoup = psi_rev_shoup_[m + i];
-            for (std::size_t j = j1; j < j1 + t; ++j) {
-                u64 u = a[j];
-                if (u >= two_p) u -= two_p;                                  // < 2p
-                const u64 v = mul_mod_shoup_lazy(a[j + t], s, s_shoup, p);   // < 2p
-                a[j] = u + v;                                                // < 4p
-                a[j + t] = u + two_p - v;                                    // < 4p
-            }
-        }
-    }
-    for (auto& x : a) {
-        if (x >= two_p) x -= two_p;
-        if (x >= p) x -= p;
-    }
+    forward_with(kernels::active(), a);
 }
 
 void NttTables::inverse(std::vector<u64>& a) const {
+    inverse_with(kernels::active(), a);
+}
+
+void NttTables::forward_with(const kernels::Kernels& k, std::vector<u64>& a) const {
     require(a.size() == n_, "NTT operand size mismatch");
-    // Gentleman-Sande stages with the same lazy discipline: sums are
-    // conditionally reduced to < 2p, differences go through the lazy
-    // twiddle product (< 2p), and the closing n^{-1} scaling performs the
-    // single exact reduction to [0, p).
-    const u64 p = prime_;
-    const u64 two_p = 2 * p;
-    std::size_t t = 1;
-    for (std::size_t m = n_; m > 1; m >>= 1) {
-        std::size_t j1 = 0;
-        const std::size_t h = m >> 1;
-        for (std::size_t i = 0; i < h; ++i) {
-            const u64 s = ipsi_rev_[h + i];
-            const u64 s_shoup = ipsi_rev_shoup_[h + i];
-            for (std::size_t j = j1; j < j1 + t; ++j) {
-                const u64 u = a[j];
-                const u64 v = a[j + t];
-                u64 sum = u + v;                                             // < 4p
-                if (sum >= two_p) sum -= two_p;                              // < 2p
-                a[j] = sum;
-                a[j + t] = mul_mod_shoup_lazy(u + two_p - v, s, s_shoup, p); // < 2p
-            }
-            j1 += 2 * t;
-        }
-        t <<= 1;
-    }
-    for (auto& x : a) {
-        x = mul_mod_shoup_lazy(x, n_inv_, n_inv_shoup_, p);
-        if (x >= p) x -= p;
-    }
+    k.ntt_forward(a.data(), n_, psi_rev_.data(), psi_rev_shoup_.data(), prime_);
+}
+
+void NttTables::inverse_with(const kernels::Kernels& k, std::vector<u64>& a) const {
+    require(a.size() == n_, "NTT operand size mismatch");
+    k.ntt_inverse(a.data(), n_, ipsi_rev_.data(), ipsi_rev_shoup_.data(), n_inv_,
+                  n_inv_shoup_, prime_);
 }
 
 }  // namespace c2pi::he

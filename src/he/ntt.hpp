@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "he/kernels.hpp"
 #include "he/modmath.hpp"
 
 namespace c2pi::he {
@@ -21,9 +22,16 @@ public:
     [[nodiscard]] std::size_t n() const { return n_; }
 
     /// In-place forward negacyclic NTT (natural -> bit-reversed order).
+    /// Runs on the dispatched kernel variant (kernels::active()).
     void forward(std::vector<u64>& a) const;
     /// In-place inverse (bit-reversed -> natural order), scales by n^{-1}.
     void inverse(std::vector<u64>& a) const;
+
+    /// Same transforms pinned to an explicit kernel variant — the
+    /// differential and property tests use these to compare tiers
+    /// without touching the process-wide dispatch.
+    void forward_with(const kernels::Kernels& k, std::vector<u64>& a) const;
+    void inverse_with(const kernels::Kernels& k, std::vector<u64>& a) const;
 
 private:
     u64 prime_;

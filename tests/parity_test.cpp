@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "core/rng.hpp"
+#include "he/kernels.hpp"
 #include "mpc/linear.hpp"
 #include "net/runtime.hpp"
 #include "net/tcp.hpp"
@@ -43,6 +44,23 @@ public:
         inner_->recv_bytes_into(out);
     }
     [[nodiscard]] net::ChannelStats stats() const override { return inner_->stats(); }
+
+    // Bootstrap/preprocessing channels forward to the wrapped transport;
+    // FSS key batches are protocol traffic and are recorded like any
+    // other payload (artifact shipping is setup and is not).
+    void send_artifact_bytes(std::span<const std::uint8_t> bytes) override {
+        inner_->send_artifact_bytes(bytes);
+    }
+    [[nodiscard]] std::vector<std::uint8_t> recv_artifact_bytes() override {
+        return inner_->recv_artifact_bytes();
+    }
+    void send_keys_bytes(std::span<const std::uint8_t> bytes) override {
+        sent_->emplace_back(bytes.begin(), bytes.end());
+        inner_->send_keys_bytes(bytes);
+    }
+    [[nodiscard]] std::vector<std::uint8_t> recv_keys_bytes() override {
+        return inner_->recv_keys_bytes();
+    }
 
 private:
     net::Transport* inner_;
@@ -253,6 +271,87 @@ TEST(SessionThreadParity, WeightlessClientModelSkipsWeightPrecompute) {
         [&](net::Transport& t) { logits = client.run(t, input); });
     ASSERT_TRUE(logits.same_shape(reference.logits));
     EXPECT_TRUE(logits.allclose(reference.logits, 0.0F));
+}
+
+// ----------------------------------------------- kernel-dispatch parity ---
+// The SIMD kernel tiers (he/kernels*.cpp) claim bit-identical outputs to
+// the scalar reference, so swapping the dispatch must be invisible at
+// every level of a full private inference: logits, every wire payload,
+// and the per-phase traffic accounting.
+
+struct SessionTranscript {
+    std::vector<std::vector<std::uint8_t>> server_sent, client_sent;
+    Tensor logits;
+    net::ChannelStats client_stats;
+};
+
+SessionTranscript run_full_session(const he::kernels::Kernels* forced, pi::PiBackend backend,
+                                   mpc::NonlinearBackend nonlinear) {
+    // Force the tier for the whole run, compile included: weight
+    // precompute (NTT + Shoup companions) goes through the kernels too.
+    he::kernels::set_active_for_testing(forced);
+    const nn::Sequential model = demo::make_demo_model();
+    const pi::CompiledModel compiled(model, demo::demo_compile_options(/*full_pi=*/true));
+    pi::SessionConfig config{.backend = backend, .seed = 5150};
+    config.nonlinear = nonlinear;
+    const pi::ServerSession server(compiled, config);
+    const pi::ClientSession client(compiled, config);
+    Rng rng(400);
+    const Tensor input = Tensor::uniform({1, 3, 16, 16}, rng, 0.0F, 1.0F);
+
+    SessionTranscript tr;
+    net::DuplexChannel channel;
+    (void)net::run_two_party(
+        channel,
+        [&](net::Transport& t) {
+            RecordingTransport rec(t, tr.server_sent);
+            server.run(rec);
+        },
+        [&](net::Transport& t) {
+            RecordingTransport rec(t, tr.client_sent);
+            tr.logits = client.run(rec, input);
+            tr.client_stats = rec.stats();
+        });
+    he::kernels::set_active_for_testing(nullptr);
+    return tr;
+}
+
+TEST(KernelDispatchParity, ScalarVsBestBitIdenticalAcrossBackends) {
+    const auto* best = &he::kernels::active();
+    std::cout << "[ kernels  ] parity run: scalar vs " << best->name << "\n";
+    if (best->tier == he::kernels::Tier::kScalar)
+        GTEST_SKIP() << "no SIMD tier on this CPU/build; scalar-vs-scalar is vacuous";
+
+    struct Combo {
+        const char* name;
+        pi::PiBackend backend;
+        mpc::NonlinearBackend nonlinear;
+    };
+    const Combo combos[] = {
+        {"cheetah/ot", pi::PiBackend::kCheetah, mpc::NonlinearBackend::kOtMillionaire},
+        {"cheetah/fss", pi::PiBackend::kCheetah, mpc::NonlinearBackend::kFss},
+        {"delphi/gc", pi::PiBackend::kDelphi, mpc::NonlinearBackend::kGarbledCircuit},
+        {"delphi/fss", pi::PiBackend::kDelphi, mpc::NonlinearBackend::kFss},
+    };
+    for (const auto& combo : combos) {
+        const auto scalar_run =
+            run_full_session(he::kernels::scalar_kernels(), combo.backend, combo.nonlinear);
+        const auto best_run = run_full_session(best, combo.backend, combo.nonlinear);
+
+        ASSERT_TRUE(best_run.logits.same_shape(scalar_run.logits)) << combo.name;
+        EXPECT_TRUE(best_run.logits.allclose(scalar_run.logits, 0.0F))
+            << combo.name << ": kernel tier changed the logits";
+        EXPECT_EQ(best_run.client_stats, scalar_run.client_stats)
+            << combo.name << ": per-phase stats diverged";
+        ASSERT_EQ(best_run.server_sent.size(), scalar_run.server_sent.size()) << combo.name;
+        ASSERT_EQ(best_run.client_sent.size(), scalar_run.client_sent.size()) << combo.name;
+        for (std::size_t i = 0; i < scalar_run.server_sent.size(); ++i)
+            EXPECT_EQ(best_run.server_sent[i], scalar_run.server_sent[i])
+                << combo.name << ": server message " << i << " diverged";
+        for (std::size_t i = 0; i < scalar_run.client_sent.size(); ++i)
+            EXPECT_EQ(best_run.client_sent[i], scalar_run.client_sent[i])
+                << combo.name << ": client message " << i << " diverged";
+    }
 }
 
 // --------------------------------------------------- transport-level parity ---

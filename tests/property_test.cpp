@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "crypto/garbling.hpp"
+#include "he/kernels.hpp"
+#include "he/ntt.hpp"
 #include "nn/layers.hpp"
 #include "pi/session.hpp"
 #include "mpc/nonlinear.hpp"
@@ -191,6 +195,80 @@ TEST_P(TruncationSweepTest, SharewiseTruncationBoundedError) {
 }
 
 INSTANTIATE_TEST_SUITE_P(FracBits, TruncationSweepTest, ::testing::Values(8, 12, 16, 20));
+
+// ------------------------------------------------- kernel variant properties ---
+// Randomized algebraic properties of the SIMD kernel layer, >= 1000
+// seeds per registered variant (unsupported ISAs are skipped by
+// kernels::supported() at runtime). The differential suite in
+// kernels_test.cpp pins variants against each other; these pin each
+// variant against the mathematics.
+
+TEST(KernelProperty, NttRoundTripIdentityPerVariant) {
+    constexpr std::size_t n = 64;
+    const he::u64 p = he::next_ntt_prime((1ULL << 49) + 1, 2 * n);
+    const he::NttTables tables(p, n);
+    for (const auto* k : he::kernels::supported()) {
+        for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+            std::mt19937_64 rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+            std::vector<he::u64> a(n);
+            for (auto& x : a) x = rng() % p;
+            std::vector<he::u64> b = a;
+            tables.forward_with(*k, b);
+            tables.inverse_with(*k, b);
+            ASSERT_EQ(b, a) << "variant " << k->name << " seed " << seed;
+        }
+    }
+}
+
+TEST(KernelProperty, MulShoupMatchesInt128OraclePerVariant) {
+    constexpr std::size_t n = 16;
+    const he::u64 p = he::next_ntt_prime((1ULL << 49) + 1, 8192);
+    for (const auto* k : he::kernels::supported()) {
+        for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+            std::mt19937_64 rng(seed ^ 0x9E3779B97F4A7C15ULL);
+            std::vector<he::u64> a(n), w(n), ws(n), got(n);
+            for (std::size_t j = 0; j < n; ++j) {
+                a[j] = rng() % p;
+                w[j] = rng() % p;
+                ws[j] = he::shoup_precompute(w[j], p);
+            }
+            k->mul_shoup(got.data(), a.data(), w.data(), ws.data(), n, p);
+            for (std::size_t j = 0; j < n; ++j) {
+                const he::u64 want =
+                    static_cast<he::u64>(static_cast<he::u128>(a[j]) * w[j] % p);
+                ASSERT_EQ(got[j], want)
+                    << "variant " << k->name << " seed " << seed << " j " << j;
+            }
+        }
+    }
+}
+
+TEST(KernelProperty, AccumulateLinearityPerVariant) {
+    constexpr std::size_t n = 32;
+    const he::u64 p = he::next_ntt_prime((1ULL << 49) + 1, 8192);
+    for (const auto* k : he::kernels::supported()) {
+        for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+            std::mt19937_64 rng(seed * 0xD1342543DE82EF95ULL + 7);
+            std::vector<he::u64> a(n), b(n), w(n), ws(n);
+            for (std::size_t j = 0; j < n; ++j) {
+                a[j] = rng() % p;
+                b[j] = rng() % p;
+                w[j] = rng() % p;
+                ws[j] = he::shoup_precompute(w[j], p);
+            }
+            // acc = a*w, then += b*w — must equal (a + b)*w by the oracle.
+            std::vector<he::u64> acc(n, 0);
+            k->mul_shoup_accumulate(acc.data(), a.data(), w.data(), ws.data(), n, p);
+            k->mul_shoup_accumulate(acc.data(), b.data(), w.data(), ws.data(), n, p);
+            for (std::size_t j = 0; j < n; ++j) {
+                const he::u128 sum = static_cast<he::u128>(a[j]) + b[j];
+                const he::u64 want = static_cast<he::u64>(sum % p * w[j] % p);
+                ASSERT_EQ(acc[j], want)
+                    << "variant " << k->name << " seed " << seed << " j " << j;
+            }
+        }
+    }
+}
 
 }  // namespace
 }  // namespace c2pi
