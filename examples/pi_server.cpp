@@ -15,6 +15,13 @@
 //   ./build/examples/pi_server [--port P] [--clients N] [--full-pi]
 //                              [--backend delphi|cheetah] [--noise L]
 //                              [--pool W] [--queue Q] [--tail-window MS]
+//                              [--handshake-timeout MS]
+//
+// Every session failure is classified at the worker boundary
+// (client-abort / protocol-violation / timeout / internal, see
+// docs/PROTOCOL.md §9) and counted per class in the final stats line;
+// --handshake-timeout bounds how long a connected-but-silent client can
+// hold an admission slot before it is shed as a timeout.
 //
 // --port 0 binds an ephemeral port (the "listening on" line reports the
 // real one — scripts parse it). --clients 0 serves forever; SIGINT/
@@ -39,11 +46,26 @@ std::atomic<bool> g_stop{false};
 void request_stop(int) { g_stop.store(true); }
 
 void print_pool_stats(const c2pi::pi::ServingPool::Stats& s) {
+    using c2pi::pi::FailureClass;
     std::printf("pool stats: served %llu sessions (%llu rejected, %llu failed), "
                 "peak %d concurrent\n",
                 static_cast<unsigned long long>(s.served),
                 static_cast<unsigned long long>(s.rejected),
                 static_cast<unsigned long long>(s.failed), s.concurrent_peak);
+    if (s.failed > 0)
+        std::printf("  failures by class: %llu client-abort, %llu protocol-violation, "
+                    "%llu timeout, %llu internal\n",
+                    static_cast<unsigned long long>(
+                        s.failed_by_class[static_cast<int>(FailureClass::kClientAbort)]),
+                    static_cast<unsigned long long>(
+                        s.failed_by_class[static_cast<int>(FailureClass::kProtocolViolation)]),
+                    static_cast<unsigned long long>(
+                        s.failed_by_class[static_cast<int>(FailureClass::kTimeout)]),
+                    static_cast<unsigned long long>(
+                        s.failed_by_class[static_cast<int>(FailureClass::kInternal)]));
+    if (s.artifact_skips > 0)
+        std::printf("  artifact: %llu digest-cache skips (resumed bootstraps)\n",
+                    static_cast<unsigned long long>(s.artifact_skips));
     c2pi::demo::print_stats(s.traffic);
     if (s.tail_batches > 0)
         std::printf("  clear tail: %llu batched passes over %llu requests\n",
@@ -62,7 +84,8 @@ int main(int argc, char** argv) {
             std::fprintf(stderr,
                          "usage: pi_server [--port P] [--clients N] [--full-pi]\n"
                          "                 [--backend delphi|cheetah] [--nonlinear gc|ot|fss]\n"
-                         "                 [--noise L] [--pool W] [--queue Q] [--tail-window MS]\n");
+                         "                 [--noise L] [--pool W] [--queue Q] [--tail-window MS]\n"
+                         "                 [--handshake-timeout MS]\n");
             return 2;
         }
     }
@@ -78,15 +101,18 @@ int main(int argc, char** argv) {
         compiled, opts.session,
         {.workers = opts.pool,
          .queue_capacity = opts.queue,
-         .tail_window_ms = opts.tail_window_ms},
+         .tail_window_ms = opts.tail_window_ms,
+         .handshake_timeout_ms = opts.handshake_timeout_ms},
         [](const pi::ServingPool::SessionReport& r) {
             if (r.ok) {
-                std::printf("served client %llu in %.3f s\n",
-                            static_cast<unsigned long long>(r.index), r.stats.wall_seconds);
+                std::printf("served client %llu in %.3f s%s\n",
+                            static_cast<unsigned long long>(r.index), r.stats.wall_seconds,
+                            r.artifact_from_cache ? "   (artifact skipped: digest hit)" : "");
                 demo::print_stats(r.stats);
             } else {
-                std::fprintf(stderr, "client %llu failed: %s\n",
-                             static_cast<unsigned long long>(r.index), r.error.c_str());
+                std::fprintf(stderr, "client %llu failed [%s]: %s\n",
+                             static_cast<unsigned long long>(r.index),
+                             pi::failure_class_name(r.failure), r.error.c_str());
             }
             std::fflush(stdout);
         });

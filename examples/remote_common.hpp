@@ -67,9 +67,16 @@ struct RemoteOptions {
     int pool = 0;                 // server: concurrent sessions (0 = auto)
     int queue = 8;                // server: waiting connections before BUSY
     int tail_window_ms = 0;       // server: cross-client clear-tail batching
+    int handshake_timeout_ms = 5'000;  // server: bootstrap-laggard deadline
     std::uint64_t input_seed = 100;  // client: RNG seed for the demo input
     bool check = false;              // client: verify against plaintext
     bool with_model = false;         // client: opt into local reference weights
+    int retries = 1;             // client: admission attempts (BUSY/connect)
+    int retry_backoff_ms = 200;  // client: initial backoff between attempts
+    int runs = 1;                // client: inferences over one artifact cache
+    int stall_ms = 0;            // client: chaos hook — sleep before the
+                                 // first protocol send (0 = disabled)
+    std::string pin;             // client: expected artifact digest (hex)
 };
 
 /// Parse flags understood by both binaries; returns nullopt-style false
@@ -121,6 +128,18 @@ inline bool parse_remote_flag(int argc, char** argv, int& i, RemoteOptions& o) {
         o.queue = static_cast<int>(std::strtol(value(), nullptr, 10));
     } else if (flag == "--tail-window") {
         o.tail_window_ms = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--handshake-timeout") {
+        o.handshake_timeout_ms = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--retries") {
+        o.retries = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--retry-backoff") {
+        o.retry_backoff_ms = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--runs") {
+        o.runs = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--stall-ms") {
+        o.stall_ms = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--pin") {
+        o.pin = value();
     } else if (flag == "--input-seed") {
         o.input_seed = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--check") {

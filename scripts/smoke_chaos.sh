@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Chaos smoke test: a forever-mode pi_server must survive misbehaving
+# clients WITHOUT operator intervention, classify each failure, keep
+# serving clean clients bit-identically, and still drain to exit 0 on
+# SIGTERM. The storm, in order:
+#   1. a clean client (baseline prediction);
+#   2. a bootstrap laggard (--stall-ms) kill -9'd mid-stall — the server
+#      must shed it on the handshake deadline as a client-abort/timeout,
+#      not hold the slot for the full 2-minute protocol timeout;
+#   3. a clean client again (containment: the slot came back);
+#   4. a --runs 2 client whose second session resumes from the digest
+#      cache ("artifact cache hit", zero artifact bytes reshipped);
+#   5. a --pin client with a wrong digest — exits 5 (artifact swap)
+#      without ever entering the protocol.
+# Then SIGTERM: the server prints per-class failure counts and the
+# digest-skip line, and exits 0 (failed sessions are an operating
+# condition for a forever server, not an error).
+# Registered as the `smoke_chaos` ctest; also runnable by hand:
+#
+#   scripts/smoke_chaos.sh [path/to/build/examples]
+set -euo pipefail
+
+bin_dir=${1:-build/examples}
+server_bin=$bin_dir/pi_server
+client_bin=$bin_dir/pi_client
+[[ -x $server_bin && -x $client_bin ]] || {
+    echo "smoke_chaos: missing $server_bin or $client_bin (build first)" >&2
+    exit 1
+}
+
+workdir=$(mktemp -d)
+server_log=$workdir/server.log
+server_pid=
+cleanup() {
+    [[ -n $server_pid ]] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Forever mode (--clients 0): chaos must not require pre-declaring how
+# many clients will show up. Short handshake deadline so the laggard is
+# shed fast; the steady recv timeout stays at its 2-minute default.
+"$server_bin" --port 0 --clients 0 --pool 2 --queue 2 \
+    --handshake-timeout 1000 >"$server_log" 2>&1 &
+server_pid=$!
+
+port=
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$server_log")
+    [[ -n $port ]] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$server_log" >&2; exit 1; }
+    sleep 0.1
+done
+[[ -n $port ]] || { echo "smoke_chaos: server never reported its port" >&2; cat "$server_log" >&2; exit 1; }
+
+# 1: clean baseline.
+"$client_bin" --port "$port" --input-seed 101 >"$workdir/client_1.log" 2>&1 ||
+    { echo "smoke_chaos: baseline client failed" >&2; cat "$workdir/client_1.log" >&2; exit 1; }
+
+# 2: the crashed laggard. --stall-ms parks it after connect; kill -9
+# means no goodbye frame of any kind — the server sees a silent peer
+# and must shed it on the 1 s handshake deadline.
+"$client_bin" --port "$port" --stall-ms 10000 >"$workdir/client_2.log" 2>&1 &
+laggard_pid=$!
+sleep 0.7
+kill -9 "$laggard_pid" 2>/dev/null || true
+wait "$laggard_pid" 2>/dev/null || true
+
+# Give the server the deadline window to classify and reclaim the slot.
+for _ in $(seq 1 100); do
+    grep -q "failed \[" "$server_log" && break
+    sleep 0.1
+done
+grep -Eq "failed \[(client-abort|timeout)\]" "$server_log" || {
+    echo "smoke_chaos: server never classified the killed laggard" >&2
+    cat "$server_log" >&2
+    exit 1
+}
+
+# 3: containment — the slot is serving again.
+"$client_bin" --port "$port" --input-seed 102 >"$workdir/client_3.log" 2>&1 ||
+    { echo "smoke_chaos: post-chaos client failed" >&2; cat "$workdir/client_3.log" >&2; exit 1; }
+
+# 4: resumable bootstrap — run 2 must hit the in-process digest cache.
+"$client_bin" --port "$port" --input-seed 103 --runs 2 >"$workdir/client_4.log" 2>&1 ||
+    { echo "smoke_chaos: --runs 2 client failed" >&2; cat "$workdir/client_4.log" >&2; exit 1; }
+grep -q "artifact cache hit" "$workdir/client_4.log" || {
+    echo "smoke_chaos: second run did not resume from the artifact cache" >&2
+    cat "$workdir/client_4.log" >&2
+    exit 1
+}
+
+# 5: artifact-swap detection — a wrong pin must exit 5 before any
+# protocol traffic.
+bad_pin=$(printf '0%.0s' $(seq 1 64))
+rc=0
+"$client_bin" --port "$port" --pin "$bad_pin" >"$workdir/client_5.log" 2>&1 || rc=$?
+[[ $rc -eq 5 ]] || {
+    echo "smoke_chaos: wrong --pin exited $rc, want 5 (artifact swap)" >&2
+    cat "$workdir/client_5.log" >&2
+    exit 1
+}
+
+# Drain: a forever server full of chaos still exits 0.
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=
+
+echo "--- pi_server ---"
+cat "$server_log"
+for i in 1 2 3 4 5; do
+    echo "--- pi_client $i ---"
+    cat "$workdir/client_$i.log"
+done
+
+[[ $server_rc -eq 0 ]] || { echo "smoke_chaos: forever server exited $server_rc, want 0" >&2; exit 1; }
+grep -q "failures by class:" "$server_log" || {
+    echo "smoke_chaos: stats line missing the per-class failure breakdown" >&2
+    exit 1
+}
+grep -q "digest-cache skips" "$server_log" || {
+    echo "smoke_chaos: stats line missing the digest-cache skip count" >&2
+    exit 1
+}
+# 4 clean sessions served: clients 1 and 3, plus both --runs 2 sessions
+# of client 4. The swap client never enters the protocol (it walks away
+# before the want byte), so the server sees one more failed bootstrap,
+# not a served session.
+grep -Eq "served 4 sessions \([0-9]+ rejected, [0-9]+ failed\)" "$server_log" || {
+    echo "smoke_chaos: server did not report 4 served sessions" >&2
+    exit 1
+}
+echo "smoke_chaos: OK (laggard shed, slot reclaimed, bootstrap resumed, swap refused; port $port)"

@@ -43,9 +43,23 @@ public:
         cv_.notify_one();
     }
 
+    /// FIN-like abrupt end: messages already queued still deliver, but a
+    /// pop() finding the queue empty raises PeerClosed instead of
+    /// blocking forever — the in-process analogue of reading EOF with no
+    /// shutdown frame (fault injection's disconnect path).
+    void abort() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            aborted_ = true;
+        }
+        cv_.notify_all();
+    }
+
     [[nodiscard]] Msg pop() {
         std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return !queue_.empty(); });
+        cv_.wait(lock, [&] { return !queue_.empty() || aborted_; });
+        if (queue_.empty())
+            throw PeerClosed("in-proc recv: peer aborted the connection mid-protocol");
         auto msg = std::move(queue_.front());
         queue_.pop_front();
         return msg;
@@ -55,6 +69,7 @@ private:
     std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<Msg> queue_;
+    bool aborted_ = false;
 };
 
 /// Shared state of an in-process two-party connection.
@@ -103,6 +118,14 @@ public:
     }
 
     [[nodiscard]] ChannelStats stats() const override { return channel_->stats(); }
+
+    /// Abrupt disconnect: both directions die — the peer's next empty-
+    /// queue pop raises PeerClosed, and so does ours (nothing more can
+    /// ever arrive once the counterparty is "gone").
+    void abort_connection() noexcept override {
+        channel_->queue_to(1 - party_).abort();
+        channel_->queue_to(party_).abort();
+    }
 
     /// Session bootstrap (artifact shipping): enqueued like any message
     /// but NOT metered — setup bytes are transport overhead, never

@@ -34,6 +34,16 @@ void close_quietly(int& fd) {
     }
 }
 
+/// A dead peer on the send side (EPIPE thanks to MSG_NOSIGNAL, or a
+/// reset) is a typed PeerClosed, not a generic error: the serving pool
+/// classifies it as a client abort.
+[[noreturn]] void fail_send_errno() {
+    if (errno == EPIPE || errno == ECONNRESET)
+        throw PeerClosed(std::string("tcp send: peer went away (") + std::strerror(errno) +
+                         ")");
+    fail_errno("tcp send");
+}
+
 /// Write the whole buffer (send(2) may write short). MSG_NOSIGNAL turns
 /// a dead peer into EPIPE instead of a process-killing SIGPIPE.
 void write_all(int fd, const std::uint8_t* data, std::size_t len) {
@@ -41,7 +51,7 @@ void write_all(int fd, const std::uint8_t* data, std::size_t len) {
         const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
-            fail_errno("tcp send");
+            fail_send_errno();
         }
         data += n;
         len -= static_cast<std::size_t>(n);
@@ -49,19 +59,23 @@ void write_all(int fd, const std::uint8_t* data, std::size_t len) {
 }
 
 /// Read exactly `len` bytes; false on clean EOF at a frame boundary
-/// (offset 0), throws on EOF mid-buffer, timeout, or socket error.
+/// (offset 0), throws typed errors on EOF mid-buffer (PeerClosed),
+/// timeout (RecvTimeout), reset (PeerClosed), or socket error.
 bool read_all(int fd, std::uint8_t* data, std::size_t len) {
     std::size_t got = 0;
     while (got < len) {
         const ssize_t n = ::recv(fd, data + got, len - got, 0);
         if (n < 0) {
             if (errno == EINTR) continue;
-            if (errno == EAGAIN || errno == EWOULDBLOCK) fail("tcp recv: timed out");
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                throw RecvTimeout("tcp recv: timed out waiting for the peer");
+            if (errno == ECONNRESET)
+                throw PeerClosed("tcp recv: connection reset by peer");
             fail_errno("tcp recv");
         }
         if (n == 0) {
             if (got == 0) return false;
-            fail("tcp recv: connection closed mid-frame");
+            throw PeerClosed("tcp recv: connection closed mid-frame");
         }
         got += static_cast<std::size_t>(n);
     }
@@ -169,7 +183,7 @@ void TcpTransport::send_frame(FrameType type, Phase phase,
         const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
-            fail_errno("tcp send");
+            fail_send_errno();
         }
         off += static_cast<std::size_t>(n);
     }
@@ -193,14 +207,14 @@ Phase TcpTransport::recv_frame_into(std::vector<std::uint8_t>& out, FrameType ex
     require(!peer_shutdown_, "tcp recv: peer already ended the session");
     std::uint8_t header[kFrameHeaderSize];
     if (!read_all(fd_, header, sizeof(header)))
-        fail("tcp recv: connection closed mid-protocol (no shutdown frame)");
+        throw PeerClosed("tcp recv: connection closed mid-protocol (no shutdown frame)");
     const std::uint32_t len = get_u32le(header);
     require(len <= kMaxFramePayload, "tcp recv: frame payload too large (corrupt header?)");
     require(header[6] == 0 && header[7] == 0, "tcp recv: nonzero reserved header bytes");
     const auto type = static_cast<FrameType>(header[4]);
     if (type == FrameType::kShutdown) {
         peer_shutdown_ = true;
-        fail("tcp recv: peer ended the session");
+        throw PeerClosed("tcp recv: peer ended the session");
     }
     if (type == FrameType::kBusy) {
         // Typed overload rejection (PROTOCOL.md §5): only legal from
@@ -239,6 +253,16 @@ Phase TcpTransport::recv_frame_into(std::vector<std::uint8_t>& out, FrameType ex
     if (type == FrameType::kData) {
         require(header[5] < kNumPhases, "tcp recv: bad phase tag");
         phase = static_cast<Phase>(header[5]);
+        // First DATA frame = the peer is past bootstrap and running the
+        // protocol: the one-shot handshake deadline (if armed) retires
+        // in favor of the steady recv timeout. Bootstrap-only frames
+        // (ARTIFACT, KEYS) deliberately do NOT promote — a client that
+        // fetches the artifact and then goes silent is still a
+        // handshake-phase laggard and is shed on the short deadline.
+        if (handshake_deadline_armed_) {
+            handshake_deadline_armed_ = false;
+            apply_recv_timeout(steady_recv_timeout_ms_);
+        }
     } else if (type == FrameType::kKeys) {
         phase = Phase::kPreprocess;
     }
@@ -296,13 +320,35 @@ ChannelStats TcpTransport::stats() const {
     return stats_;
 }
 
-void TcpTransport::set_recv_timeout(int milliseconds) {
-    require(is_open(), "set_recv_timeout: transport is closed");
+void TcpTransport::apply_recv_timeout(int milliseconds) {
     timeval tv{};
     tv.tv_sec = milliseconds / 1000;
     tv.tv_usec = (milliseconds % 1000) * 1000;
     require(::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0,
             "set_recv_timeout failed");
+}
+
+void TcpTransport::set_recv_timeout(int milliseconds) {
+    require(is_open(), "set_recv_timeout: transport is closed");
+    require(milliseconds >= 0, "set_recv_timeout: negative deadline");
+    steady_recv_timeout_ms_ = milliseconds;
+    // While a handshake deadline is armed the (stricter) bootstrap value
+    // stays on the socket; the steady value takes over at promotion.
+    if (!handshake_deadline_armed_) apply_recv_timeout(milliseconds);
+}
+
+void TcpTransport::arm_handshake_deadline(int milliseconds) {
+    require(is_open(), "arm_handshake_deadline: transport is closed");
+    require(milliseconds > 0, "arm_handshake_deadline: deadline must be positive");
+    handshake_deadline_armed_ = true;
+    apply_recv_timeout(milliseconds);
+}
+
+void TcpTransport::abort_connection() noexcept {
+    // No goodbye frame, no drain: the peer's next read sees a raw EOF
+    // (or a reset if it had data in flight) — indistinguishable from a
+    // crashed process, which is the point.
+    close_quietly(fd_);
 }
 
 void TcpTransport::close() noexcept {
@@ -453,8 +499,11 @@ std::unique_ptr<TcpTransport> connect(const std::string& host, std::uint16_t por
         const bool retryable = err == ECONNREFUSED || err == ETIMEDOUT || err == EINTR ||
                                err == ECONNRESET || err == EAGAIN;
         if (!retryable || std::chrono::steady_clock::now() >= deadline) {
-            errno = err;
-            fail_errno(("tcp connect to " + host + ":" + std::to_string(port)).c_str());
+            // Typed so a retry policy can treat it like BUSY: no secret-
+            // dependent message can have been sent over a connection that
+            // never existed, so retrying is unconditionally safe.
+            throw ConnectFailed("tcp connect to " + host + ":" + std::to_string(port) + ": " +
+                                std::strerror(err));
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }

@@ -104,9 +104,27 @@ public:
     /// pending recv raises ServerBusy.
     void send_busy();
 
-    /// Abort a `recv_bytes` blocked longer than this (0 restores
-    /// blocking forever). Protects servers from stalled peers.
+    /// Abort a `recv_bytes` blocked longer than this with a typed
+    /// RecvTimeout (0 restores blocking forever). Protects servers from
+    /// stalled peers. This is the *steady-state* deadline; see
+    /// arm_handshake_deadline for the stricter session-bootstrap one.
     void set_recv_timeout(int milliseconds);
+
+    /// Arm a one-shot, shorter deadline covering the session-bootstrap
+    /// reads: it applies immediately and stays in force until the first
+    /// DATA frame arrives from the peer, at which point the transport
+    /// reverts to the steady set_recv_timeout value on its own. A
+    /// connected-but-silent peer — a port scanner, a client that died
+    /// right after the handshake — is then shed in `milliseconds`, not
+    /// pinned against the (much longer) protocol recv timeout
+    /// (docs/PROTOCOL.md §9). Call after set_recv_timeout.
+    void arm_handshake_deadline(int milliseconds);
+
+    /// Hard abort: close the socket with NO goodbye frame, so the peer
+    /// observes a mid-protocol EOF (PeerClosed) — the shape of a crashed
+    /// process. Used by the fault-injection layer; idempotent with
+    /// close().
+    void abort_connection() noexcept override;
 
     /// Graceful shutdown: send a kShutdown frame, half-close, drain the
     /// peer's remaining bytes (bounded — a hostile streamer cannot pin
@@ -130,8 +148,13 @@ private:
     /// malformed headers raise typed errors for both callers.
     Phase recv_frame_into(std::vector<std::uint8_t>& out, FrameType expected);
 
+    /// Apply an SO_RCVTIMEO in milliseconds (0 = block forever).
+    void apply_recv_timeout(int milliseconds);
+
     int fd_ = -1;
     bool peer_shutdown_ = false;
+    int steady_recv_timeout_ms_ = 0;     ///< set_recv_timeout's value
+    bool handshake_deadline_armed_ = false;  ///< until the first DATA frame
     mutable std::mutex stats_mutex_;
     ChannelStats stats_;
 };

@@ -36,6 +36,35 @@ namespace c2pi::net {
 enum class Phase { kOffline = 0, kOnline = 1, kPreprocess = 2 };
 inline constexpr int kNumPhases = 3;
 
+// -- typed transport failures ------------------------------------------------
+// A serving pool must tell a dying client apart from a hostile one and
+// from its own bugs (docs/PROTOCOL.md §9, "Failure semantics"), so the
+// transport layer reports its three externally-caused failure shapes as
+// distinct types. Everything else (malformed frames, codec violations)
+// stays a plain c2pi::Error.
+
+/// The peer went away: clean SHUTDOWN frame mid-protocol, raw EOF, a
+/// connection reset, or EPIPE on send. From a server's point of view
+/// this is a client abort — common under WAN serving, never fatal to
+/// the worker.
+struct PeerClosed : Error {
+    using Error::Error;
+};
+
+/// A blocking receive exceeded its deadline (set_recv_timeout or the
+/// handshake deadline): the peer is connected but silent.
+struct RecvTimeout : Error {
+    using Error::Error;
+};
+
+/// Could not establish the connection before the caller's deadline
+/// (nobody listening, SYNs dropped, network unreachable). Typed so a
+/// client retry policy can treat it like a BUSY rejection: nothing
+/// secret has been sent yet, so retrying is always safe.
+struct ConnectFailed : Error {
+    using Error::Error;
+};
+
 /// Traffic counters for one two-party connection. For the in-process
 /// channel the two parties share one instance; each TCP endpoint keeps
 /// its own, and the two views are identical because both parties observe
@@ -116,6 +145,14 @@ public:
     virtual void recv_bytes_into(std::vector<std::uint8_t>& out) { out = recv_bytes(); }
     /// Snapshot of this connection's traffic accounting.
     [[nodiscard]] virtual ChannelStats stats() const = 0;
+
+    /// Hard abort: tear the connection down *without* the goodbye
+    /// sequence, so the peer observes an abrupt end (PeerClosed) rather
+    /// than a clean shutdown — exactly what a crashed process or a cut
+    /// link looks like. The fault-injection layer (faulty.hpp) uses this
+    /// to simulate mid-protocol disconnects; implementations without a
+    /// connection to break may leave it a no-op.
+    virtual void abort_connection() noexcept {}
 
     // -- session bootstrap ---------------------------------------------------
     /// Ship the serialized public model artifact to the peer, before any

@@ -1,0 +1,111 @@
+#include "pi/bootstrap.hpp"
+
+#include <cstring>
+
+#include "crypto/hash.hpp"
+
+namespace c2pi::pi {
+
+namespace {
+
+/// Want-byte values of bootstrap message 2 (docs/PROTOCOL.md §3).
+constexpr std::uint8_t kWantShip = 0x00;
+constexpr std::uint8_t kWantCached = 0x01;
+
+}  // namespace
+
+ArtifactDigest digest_of(std::span<const std::uint8_t> bytes) {
+    return crypto::Sha256::digest(bytes);
+}
+
+std::string digest_hex(const ArtifactDigest& digest) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out(64, '0');
+    for (std::size_t i = 0; i < digest.size(); ++i) {
+        out[2 * i] = kHex[digest[i] >> 4];
+        out[2 * i + 1] = kHex[digest[i] & 0x0F];
+    }
+    return out;
+}
+
+ArtifactDigest digest_from_hex(const std::string& hex) {
+    require(hex.size() == 64, "artifact digest must be 64 hex characters");
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        fail("artifact digest: not a hex character");
+    };
+    ArtifactDigest digest{};
+    for (std::size_t i = 0; i < digest.size(); ++i)
+        digest[i] = static_cast<std::uint8_t>(nibble(hex[2 * i]) << 4 | nibble(hex[2 * i + 1]));
+    return digest;
+}
+
+ArtifactSwap::ArtifactSwap(const ArtifactDigest& pinned, const ArtifactDigest& announced)
+    : Error("artifact swap detected: server announced model " + digest_hex(announced).substr(0, 16) +
+            "... but this client pinned " + digest_hex(pinned).substr(0, 16) + "...") {}
+
+std::shared_ptr<const ClientModel> ArtifactCache::find(const ArtifactDigest& digest) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(digest);
+    return it == cache_.end() ? nullptr : it->second;
+}
+
+void ArtifactCache::insert(const ArtifactDigest& digest,
+                           std::shared_ptr<const ClientModel> model) {
+    require(model != nullptr, "ArtifactCache::insert: null model");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cache_.emplace(digest, std::move(model));
+}
+
+std::size_t ArtifactCache::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+bool ship_artifact(net::Transport& transport, std::span<const std::uint8_t> bytes,
+                   const ArtifactDigest& digest) {
+    transport.send_artifact_bytes(digest);
+    const auto want = transport.recv_artifact_bytes();
+    require(want.size() == 1 && (want[0] == kWantShip || want[0] == kWantCached),
+            "artifact bootstrap: malformed want reply");
+    if (want[0] == kWantCached) return true;
+    transport.send_artifact_bytes(bytes);
+    return false;
+}
+
+Bootstrap fetch_artifact(net::Transport& transport, ArtifactCache* cache,
+                         std::optional<ArtifactDigest> pinned, int num_threads) {
+    Bootstrap result;
+    const auto announced = transport.recv_artifact_bytes();  // ServerBusy propagates
+    require(announced.size() == sizeof(ArtifactDigest),
+            "artifact bootstrap: digest announcement has the wrong size");
+    std::memcpy(result.digest.data(), announced.data(), result.digest.size());
+    // Pin check BEFORE the want reply: on a swap the client just walks
+    // away, and the server sees an ordinary client abort.
+    if (pinned && *pinned != result.digest) throw ArtifactSwap(*pinned, result.digest);
+
+    if (cache != nullptr) {
+        if (auto hit = cache->find(result.digest)) {
+            const std::uint8_t reply[1] = {kWantCached};
+            transport.send_artifact_bytes(reply);
+            result.model = std::move(hit);
+            result.from_cache = true;
+            return result;
+        }
+    }
+    const std::uint8_t reply[1] = {kWantShip};
+    transport.send_artifact_bytes(reply);
+    const auto bytes = transport.recv_artifact_bytes();
+    // The announcement is a commitment: shipment must hash to it, or the
+    // server is corrupt/hostile and the session dies before compiling.
+    require(digest_of(bytes) == result.digest,
+            "artifact bootstrap: shipped artifact does not match the announced digest");
+    result.model =
+        std::make_shared<const ClientModel>(ModelArtifact::deserialize(bytes), num_threads);
+    if (cache != nullptr) cache->insert(result.digest, result.model);
+    return result;
+}
+
+}  // namespace c2pi::pi

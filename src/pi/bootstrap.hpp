@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file bootstrap.hpp
+/// Resumable session bootstrap: digest-first artifact shipment.
+///
+/// The session's ARTIFACT exchange (docs/PROTOCOL.md §3) is three
+/// messages, all in kArtifact frames and — like the handshake — never
+/// metered in ChannelStats:
+///
+///   1. server -> client: the SHA-256 digest of the serialized artifact
+///      (32 bytes). This is the frame the BUSY rejection replaces, so
+///      the overload path still fires before the client has sent
+///      anything past the handshake.
+///   2. client -> server: one want byte. 0x00 = "ship it";
+///      0x01 = "I hold these exact bytes — skip".
+///   3. server -> client: the full artifact, only if wanted.
+///
+/// A reconnecting client (retry after BUSY, restart after a fault) that
+/// kept its `ArtifactCache` resumes with message 2 = 0x01 and pays zero
+/// artifact bytes and zero ClientModel recompilation. The digest also
+/// pins the session: a client passes the digest of a previous session
+/// and a server that swapped models mid-air is caught *before* any
+/// protocol traffic (typed `ArtifactSwap`), closing the ROADMAP's
+/// artifact-pinning gap.
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+#include "pi/artifact.hpp"
+
+namespace c2pi::pi {
+
+/// SHA-256 of the serialized artifact bytes — the session's model
+/// identity on the wire.
+using ArtifactDigest = std::array<std::uint8_t, 32>;
+
+[[nodiscard]] ArtifactDigest digest_of(std::span<const std::uint8_t> bytes);
+
+/// Lowercase hex, for logs and the pi_client --pin flag.
+[[nodiscard]] std::string digest_hex(const ArtifactDigest& digest);
+/// Parse digest_hex output (exactly 64 hex chars); throws c2pi::Error.
+[[nodiscard]] ArtifactDigest digest_from_hex(const std::string& hex);
+
+/// The server model changed identity across a reconnect: the announced
+/// digest does not match the one this client pinned. Typed so a client
+/// can refuse to silently continue against a swapped model.
+struct ArtifactSwap final : Error {
+    ArtifactSwap(const ArtifactDigest& pinned, const ArtifactDigest& announced);
+};
+
+/// Client-side cache of compiled artifacts, keyed by digest. Thread-safe;
+/// entries are shared-const so concurrent sessions reuse one ClientModel.
+/// Sized for serving clients that talk to a handful of servers — entries
+/// are never evicted (a ClientModel is a few MB of encoder tables).
+class ArtifactCache {
+public:
+    [[nodiscard]] std::shared_ptr<const ClientModel> find(const ArtifactDigest& digest) const;
+    void insert(const ArtifactDigest& digest, std::shared_ptr<const ClientModel> model);
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    struct Hash {
+        std::size_t operator()(const ArtifactDigest& d) const {
+            std::size_t h;  // first bytes of a SHA-256 are already uniform
+            std::memcpy(&h, d.data(), sizeof(h));
+            return h;
+        }
+    };
+    mutable std::mutex mutex_;
+    std::unordered_map<ArtifactDigest, std::shared_ptr<const ClientModel>, Hash> cache_;
+};
+
+/// Server side of the exchange. `bytes` is the serialized artifact,
+/// `digest` its (precomputed) SHA-256. Returns true when the client
+/// held the bytes and shipment was skipped.
+bool ship_artifact(net::Transport& transport, std::span<const std::uint8_t> bytes,
+                   const ArtifactDigest& digest);
+
+/// What fetch_artifact hands back: the compiled client model, the
+/// digest that identifies it (pass as `pinned` on reconnect), and
+/// whether the cache made shipment unnecessary.
+struct Bootstrap {
+    std::shared_ptr<const ClientModel> model;
+    ArtifactDigest digest{};
+    bool from_cache = false;
+};
+
+/// Client side of the exchange. With a `cache`, a digest hit skips
+/// shipment and recompilation; without one every call ships. A `pinned`
+/// digest from a previous session turns a mid-air model swap into a
+/// typed ArtifactSwap before any protocol traffic. Shipped bytes are
+/// verified against the announced digest before compilation — a server
+/// whose shipment does not match its announcement is a protocol
+/// violation, not a cache poisoning. `net::ServerBusy` propagates from
+/// the first receive (the BUSY frame replaces the digest).
+[[nodiscard]] Bootstrap fetch_artifact(net::Transport& transport, ArtifactCache* cache,
+                                       std::optional<ArtifactDigest> pinned = std::nullopt,
+                                       int num_threads = 0);
+
+}  // namespace c2pi::pi

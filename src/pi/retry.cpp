@@ -1,0 +1,40 @@
+#include "pi/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace c2pi::pi {
+
+void RetryPolicy::validate() const {
+    require(max_attempts >= 1, "RetryPolicy: max_attempts must be >= 1");
+    require(initial_backoff_ms >= 0, "RetryPolicy: initial_backoff_ms must be >= 0");
+    require(max_backoff_ms >= initial_backoff_ms,
+            "RetryPolicy: max_backoff_ms must be >= initial_backoff_ms");
+    require(multiplier >= 1.0, "RetryPolicy: multiplier must be >= 1");
+    require(jitter >= 0.0 && jitter <= 1.0, "RetryPolicy: jitter must lie in [0, 1]");
+}
+
+int RetryPolicy::backoff_ms(int attempt) const {
+    if (attempt <= 1) return 0;
+    const double grown =
+        static_cast<double>(initial_backoff_ms) * std::pow(multiplier, attempt - 2);
+    const double capped = std::min(grown, static_cast<double>(max_backoff_ms));
+    if (jitter <= 0.0) return static_cast<int>(capped);
+    // SplitMix64 over (seed, attempt): deterministic, replayable, and
+    // different seeds decorrelate a storm of identical clients.
+    std::uint64_t s = jitter_seed + static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL;
+    s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    s = (s ^ (s >> 27)) * 0x94d049bb133111ebULL;
+    s ^= s >> 31;
+    const double unit = static_cast<double>(s >> 11) * 0x1.0p-53;  // [0, 1)
+    // Delay drawn from [(1 - jitter) * capped, capped].
+    return static_cast<int>(capped * (1.0 - jitter * unit));
+}
+
+void detail_sleep_ms(int milliseconds) {
+    if (milliseconds > 0) std::this_thread::sleep_for(std::chrono::milliseconds(milliseconds));
+}
+
+}  // namespace c2pi::pi

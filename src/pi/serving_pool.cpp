@@ -15,17 +15,42 @@ int validated_workers(const ServingPool::Options& o) {
             "ServingPool workers must lie in [0, 1024] (0 = auto)");
     require(o.queue_capacity >= 0, "ServingPool queue_capacity must be >= 0");
     require(o.recv_timeout_ms >= 0, "ServingPool recv_timeout_ms must be >= 0");
+    require(o.handshake_timeout_ms >= 0,
+            "ServingPool handshake_timeout_ms must be >= 0 (0 disables the short deadline)");
     require(o.tail_window_ms >= 0, "ServingPool tail_window_ms must be >= 0");
     return core::resolve_thread_count(o.workers);
 }
 
 }  // namespace
 
+const char* failure_class_name(FailureClass c) {
+    switch (c) {
+        case FailureClass::kClientAbort: return "client-abort";
+        case FailureClass::kProtocolViolation: return "protocol-violation";
+        case FailureClass::kTimeout: return "timeout";
+        case FailureClass::kInternal: return "internal";
+    }
+    return "internal";
+}
+
+FailureClass classify_failure(const std::exception& e) {
+    // Order matters: the typed transport failures derive c2pi::Error, so
+    // they must be tested before the generic Error bucket.
+    if (dynamic_cast<const net::RecvTimeout*>(&e) != nullptr) return FailureClass::kTimeout;
+    if (dynamic_cast<const net::PeerClosed*>(&e) != nullptr) return FailureClass::kClientAbort;
+    // A sibling session poisoned the shared batch pass — not this
+    // client's doing, and not its protocol's.
+    if (dynamic_cast<const TailBatcher::Aborted*>(&e) != nullptr) return FailureClass::kInternal;
+    if (dynamic_cast<const Error*>(&e) != nullptr) return FailureClass::kProtocolViolation;
+    return FailureClass::kInternal;
+}
+
 ServingPool::ServingPool(const CompiledModel& model, SessionConfig config, Options options,
                          std::function<void(const SessionReport&)> on_session)
     : model_(&model),
       session_(model, config),
       artifact_bytes_(model.artifact().serialize()),
+      artifact_digest_(digest_of(artifact_bytes_)),
       options_(options),
       on_session_(std::move(on_session)),
       queue_(validated_workers(options), options.queue_capacity) {
@@ -82,7 +107,13 @@ void ServingPool::serve_one(net::TcpTransport& transport, std::uint64_t index) n
     Stopwatch watch;
     try {
         transport.set_recv_timeout(options_.recv_timeout_ms);
-        transport.send_artifact_bytes(artifact_bytes_);
+        // Bootstrap-phase laggards (connected-then-silent, died after the
+        // handshake) are shed on the short deadline; the transport
+        // promotes to the steady timeout at the first DATA frame.
+        if (options_.handshake_timeout_ms > 0)
+            transport.arm_handshake_deadline(options_.handshake_timeout_ms);
+        report.artifact_from_cache =
+            ship_artifact(transport, artifact_bytes_, artifact_digest_);
         if (batcher_ != nullptr) {
             session_.run(transport,
                          [this](const Tensor& act) { return batcher_->run(act); });
@@ -95,14 +126,17 @@ void ServingPool::serve_one(net::TcpTransport& transport, std::uint64_t index) n
     } catch (const std::exception& e) {
         report.ok = false;
         report.error = e.what();
+        report.failure = classify_failure(e);
     } catch (...) {
         report.ok = false;
         report.error = "unknown error";
+        report.failure = FailureClass::kInternal;
     }
     transport.close();  // noexcept; idempotent
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         --stats_.active;
+        if (report.artifact_from_cache) ++stats_.artifact_skips;
         if (report.ok) {
             ++stats_.served;
             stats_.traffic.offline_bytes += report.stats.offline_bytes;
@@ -114,6 +148,7 @@ void ServingPool::serve_one(net::TcpTransport& transport, std::uint64_t index) n
             stats_.traffic.wall_seconds += report.stats.wall_seconds;
         } else {
             ++stats_.failed;
+            ++stats_.failed_by_class[static_cast<int>(report.failure)];
         }
     }
     if (on_session_) {

@@ -34,10 +34,38 @@
 
 #include "core/thread_pool.hpp"
 #include "net/tcp.hpp"
+#include "pi/bootstrap.hpp"
 #include "pi/session.hpp"
 #include "pi/tail_batch.hpp"
 
 namespace c2pi::pi {
+
+/// Why a served session failed, classified at the worker boundary so
+/// operators can tell dying clients from hostile ones from server bugs
+/// (docs/PROTOCOL.md §9). The classification rule, in order:
+///   - net::RecvTimeout            -> kTimeout (connected but silent)
+///   - net::PeerClosed             -> kClientAbort (EOF/reset/clean goodbye
+///                                    mid-protocol: the client went away)
+///   - TailBatcher::Aborted        -> kInternal (a *sibling* session
+///                                    poisoned the shared batch pass)
+///   - any other c2pi::Error       -> kProtocolViolation (malformed frame,
+///                                    codec failure, illegal message)
+///   - any other std::exception    -> kInternal (our bug, not the peer's)
+enum class FailureClass : std::uint8_t {
+    kClientAbort = 0,
+    kProtocolViolation = 1,
+    kTimeout = 2,
+    kInternal = 3,
+};
+inline constexpr int kNumFailureClasses = 4;
+
+/// Stable short name ("client-abort", "protocol-violation", "timeout",
+/// "internal") for stats lines and logs.
+[[nodiscard]] const char* failure_class_name(FailureClass c);
+
+/// Apply the classification rule to a caught exception (call inside a
+/// catch block; inspects the current exception via rethrow).
+[[nodiscard]] FailureClass classify_failure(const std::exception& e);
 
 class ServingPool {
 public:
@@ -56,6 +84,12 @@ public:
         /// Protocol recv timeout applied to every served transport, so a
         /// stalled client cannot hold a worker forever.
         int recv_timeout_ms = 120'000;
+        /// Stricter one-shot deadline covering the session-bootstrap
+        /// reads (want byte, first protocol frame): a client that
+        /// connects and goes silent is shed in this long, not pinned
+        /// against recv_timeout_ms holding an admission slot. Auto-
+        /// promotes to recv_timeout_ms at the client's first DATA frame.
+        int handshake_timeout_ms = 5'000;
     };
 
     /// Outcome of one served session, delivered to the `on_session`
@@ -65,6 +99,11 @@ public:
         PiStats stats;            ///< per-phase traffic + session wall time
         bool ok = false;
         std::string error;  ///< failure reason when !ok
+        /// Failure taxonomy bucket (meaningful only when !ok).
+        FailureClass failure = FailureClass::kInternal;
+        /// Bootstrap resume: the client already held this artifact and
+        /// shipment was skipped (docs/PROTOCOL.md §3).
+        bool artifact_from_cache = false;
     };
 
     /// Aggregate serving statistics (snapshot; monotonic counters).
@@ -73,6 +112,11 @@ public:
         std::uint64_t served = 0;    ///< sessions completed cleanly
         std::uint64_t rejected = 0;  ///< refused with the BUSY frame
         std::uint64_t failed = 0;    ///< sessions that raised mid-protocol
+        /// failed, broken down by FailureClass (index with
+        /// static_cast<int>(FailureClass)); sums to `failed`.
+        std::uint64_t failed_by_class[kNumFailureClasses] = {};
+        /// Sessions whose client held the artifact already (digest hit).
+        std::uint64_t artifact_skips = 0;
         int active = 0;              ///< sessions running right now
         int concurrent_peak = 0;     ///< max simultaneous sessions so far
         /// Summed per-phase traffic of served sessions; wall_seconds is
@@ -114,6 +158,7 @@ private:
     const CompiledModel* model_;
     const ServerSession session_;  ///< stateless; shared by all workers
     const std::vector<std::uint8_t> artifact_bytes_;
+    const ArtifactDigest artifact_digest_;  ///< SHA-256 of artifact_bytes_
     const Options options_;
     const std::function<void(const SessionReport&)> on_session_;
     std::unique_ptr<TailBatcher> batcher_;  ///< null unless windowed batching is on

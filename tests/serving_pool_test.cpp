@@ -61,12 +61,11 @@ struct ClientRun {
 };
 
 ClientRun run_weightless_client(std::uint16_t port, const SessionConfig& config,
-                                const Tensor& input) {
+                                const Tensor& input, ArtifactCache* cache = nullptr) {
     auto transport = net::connect("127.0.0.1", port, /*timeout_ms=*/30'000);
     transport->set_recv_timeout(120'000);
-    const ModelArtifact artifact = ModelArtifact::deserialize(transport->recv_artifact_bytes());
-    const ClientModel client_model(artifact);
-    const ClientSession session(client_model, config);
+    const Bootstrap boot = fetch_artifact(*transport, cache);
+    const ClientSession session(*boot.model, config);
     ClientRun run;
     run.logits = session.run(*transport, input);
     run.stats = stats_from_channel(transport->stats());
@@ -274,6 +273,7 @@ TEST(ServingPool, RejectsBadOptionsAtTheApiBoundary) {
     EXPECT_THROW(ServingPool(compiled, config, {.queue_capacity = -1}), Error);
     EXPECT_THROW(ServingPool(compiled, config, {.tail_window_ms = -5}), Error);
     EXPECT_THROW(ServingPool(compiled, config, {.recv_timeout_ms = -1}), Error);
+    EXPECT_THROW(ServingPool(compiled, config, {.handshake_timeout_ms = -1}), Error);
 }
 
 }  // namespace
