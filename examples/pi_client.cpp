@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
             std::fprintf(stderr,
                          "usage: pi_client [--host H] [--port P]\n"
                          "                 [--backend delphi|cheetah] [--nonlinear gc|ot|fss]\n"
-                         "                 [--noise L] [--input-seed N] [--check --with-model]\n"
+                         "                 [--noise L] [--no-pipeline] [--input-seed N]\n"
+                         "                 [--check --with-model]\n"
                          "                 [--retries N] [--retry-backoff MS] [--runs N]\n"
                          "                 [--pin HEXDIGEST] [--stall-ms MS]\n");
             return 2;
@@ -136,7 +137,7 @@ int main(int argc, char** argv) {
 
                 Stopwatch watch;
                 Tensor logits = session.run(*transport, input);
-                auto stats = pi::stats_from_channel(transport->stats());
+                auto stats = pi::stats_from_transport(*transport);
                 stats.wall_seconds = watch.seconds();
                 transport->close();
                 return std::make_tuple(std::move(logits), stats, boot.digest, input);

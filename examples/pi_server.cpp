@@ -84,8 +84,8 @@ int main(int argc, char** argv) {
             std::fprintf(stderr,
                          "usage: pi_server [--port P] [--clients N] [--full-pi]\n"
                          "                 [--backend delphi|cheetah] [--nonlinear gc|ot|fss]\n"
-                         "                 [--noise L] [--pool W] [--queue Q] [--tail-window MS]\n"
-                         "                 [--handshake-timeout MS]\n");
+                         "                 [--noise L] [--no-pipeline] [--pool W] [--queue Q]\n"
+                         "                 [--tail-window MS] [--handshake-timeout MS]\n");
             return 2;
         }
     }

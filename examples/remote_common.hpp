@@ -118,6 +118,8 @@ inline bool parse_remote_flag(int argc, char** argv, int& i, RemoteOptions& o) {
             std::fprintf(stderr, "unknown nonlinear backend '%s' (gc|ot|fss)\n", b.c_str());
             std::exit(2);
         }
+    } else if (flag == "--no-pipeline") {
+        o.session.pipeline = false;  // synchronous sends + batched HE responses
     } else if (flag == "--noise") {
         o.session.noise_lambda = std::strtof(value(), nullptr);
     } else if (flag == "--clients") {
@@ -161,6 +163,15 @@ inline void print_stats(const pi::PiStats& s) {
                 static_cast<unsigned long long>(s.preprocess_flights),
                 static_cast<unsigned long long>(s.offline_flights),
                 static_cast<unsigned long long>(s.online_flights));
+    // Compute vs blocked-on-network split (zero when the transport does
+    // not measure waits, e.g. plain recorders).
+    if (s.total_wait_seconds() > 0.0) {
+        std::printf("  net-wait: %.1f ms preproc + %.1f ms offline + %.1f ms online   "
+                    "(compute %.1f ms of %.1f ms wall)\n",
+                    s.preprocess_wait_seconds * 1e3, s.offline_wait_seconds * 1e3,
+                    s.online_wait_seconds * 1e3,
+                    (s.wall_seconds - s.total_wait_seconds()) * 1e3, s.wall_seconds * 1e3);
+    }
 }
 
 }  // namespace c2pi::demo

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# End-to-end network-profile benchmark: run the real two-process
+# deployment (pi_server + pi_client over TCP) under tc/netem link
+# profiles and measure the wall-clock effect of the pipelined online
+# phase (SessionConfig::pipeline) against --no-pipeline.
+#
+#   scripts/bench_wan.sh [path/to/build/examples] [out.json]
+#
+# Profiles (applied to the loopback device with `tc qdisc ... netem`):
+#   local  no shaping — the raw machine, always measured;
+#   lan    3 Gbit/s, 0.15 ms delay — the paper's LAN testbed band;
+#   wan    100 Mbit/s, 20 ms delay — the paper's WAN band.
+#
+# Each (profile, mode) cell serves several inferences and reports the
+# median end-to-end seconds from pi_client's own stats line. Results are
+# written as google-benchmark-shaped JSON (BENCH_e2e.json by default) so
+# the same tooling that reads BENCH_micro.json can diff them; CI uploads
+# the file as an artifact.
+#
+# Traffic shaping needs root (or CAP_NET_ADMIN): the script tries plain
+# `tc`, then `sudo -n tc`. When neither works — normal on a dev box —
+# the shaped profiles are SKIPPED with a note and only `local` is
+# measured; the script still exits 0 and still writes the JSON. The
+# pipelining win under `local` is small by construction (loopback has no
+# transmission time to hide), so treat shaped runs as the measurement
+# and the local pair as a sanity floor.
+set -euo pipefail
+
+bin_dir=${1:-build/examples}
+out_json=${2:-BENCH_e2e.json}
+runs_per_cell=${C2PI_WAN_RUNS:-3}
+server_bin=$bin_dir/pi_server
+client_bin=$bin_dir/pi_client
+[[ -x $server_bin && -x $client_bin ]] || {
+    echo "bench_wan: missing $server_bin or $client_bin (build first)" >&2
+    exit 1
+}
+
+workdir=$(mktemp -d)
+server_pid=
+TC=
+shaped=0
+
+tc_cmd() {
+    # shellcheck disable=SC2086
+    $TC "$@"
+}
+
+cleanup() {
+    [[ -n $server_pid ]] && kill "$server_pid" 2>/dev/null || true
+    [[ $shaped -eq 1 ]] && tc_cmd qdisc del dev lo root 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Pick a working tc invocation; empty TC = shaping unavailable.
+if tc qdisc show dev lo >/dev/null 2>&1 &&
+    tc qdisc add dev lo root netem delay 0ms 2>/dev/null; then
+    TC=tc
+    tc qdisc del dev lo root 2>/dev/null || true
+elif sudo -n tc qdisc add dev lo root netem delay 0ms 2>/dev/null; then
+    TC="sudo -n tc"
+    sudo -n tc qdisc del dev lo root 2>/dev/null || true
+else
+    echo "bench_wan: tc/netem unavailable (need root or CAP_NET_ADMIN);" \
+        "measuring the unshaped 'local' profile only" >&2
+fi
+
+shape() {
+    local profile=$1
+    [[ -n $TC ]] || return 1
+    case $profile in
+    local) tc_cmd qdisc del dev lo root 2>/dev/null || true; shaped=0 ;;
+    lan)
+        tc_cmd qdisc replace dev lo root netem delay 0.15ms rate 3gbit
+        shaped=1
+        ;;
+    wan)
+        tc_cmd qdisc replace dev lo root netem delay 20ms rate 100mbit
+        shaped=1
+        ;;
+    esac
+}
+
+# One cell: serve $runs_per_cell clients, print the median end-to-end
+# seconds (from pi_client's "(%.3f s end-to-end)" line).
+run_cell() {
+    local mode_flags=$1
+    local server_log=$workdir/server.log
+    local client_log=$workdir/client.log
+    : >"$server_log"
+    # shellcheck disable=SC2086
+    "$server_bin" --port 0 --clients "$runs_per_cell" $mode_flags \
+        >"$server_log" 2>&1 &
+    server_pid=$!
+    local port=
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$server_log")
+        [[ -n $port ]] && break
+        kill -0 "$server_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    [[ -n $port ]] || {
+        echo "bench_wan: server did not report a port" >&2
+        cat "$server_log" >&2
+        return 1
+    }
+    local times=()
+    for i in $(seq 1 "$runs_per_cell"); do
+        # shellcheck disable=SC2086
+        "$client_bin" --port "$port" --input-seed "$((100 + i))" $mode_flags \
+            >"$client_log" 2>&1 || {
+            echo "bench_wan: client run $i failed" >&2
+            cat "$client_log" >&2
+            return 1
+        }
+        times+=("$(sed -n 's/.*(\([0-9.]*\) s end-to-end).*/\1/p' "$client_log" | head -1)")
+    done
+    wait "$server_pid" || true
+    server_pid=
+    printf '%s\n' "${times[@]}" | sort -g | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}'
+}
+
+declare -a names=() medians=()
+for profile in local lan wan; do
+    if [[ $profile != local ]]; then
+        shape "$profile" || {
+            echo "bench_wan: skipping '$profile' (no shaping)" >&2
+            continue
+        }
+    fi
+    for mode in pipelined no-pipeline; do
+        flags=""
+        [[ $mode == no-pipeline ]] && flags="--no-pipeline"
+        echo "bench_wan: $profile / $mode ($runs_per_cell runs) ..."
+        median=$(run_cell "$flags")
+        echo "bench_wan:   median ${median}s end-to-end"
+        names+=("BM_E2eInference/$profile/$mode")
+        medians+=("$median")
+    done
+done
+[[ -n $TC ]] && shape local || true
+
+# google-benchmark-shaped JSON so bench tooling can consume it.
+{
+    echo '{'
+    echo '  "context": {'
+    echo "    \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "    \"host_name\": \"$(hostname)\","
+    echo "    \"executable\": \"$server_bin\","
+    echo "    \"shaping\": \"${TC:-none}\","
+    echo "    \"runs_per_cell\": $runs_per_cell"
+    echo '  },'
+    echo '  "benchmarks": ['
+    for i in "${!names[@]}"; do
+        sep=,
+        [[ $i -eq $((${#names[@]} - 1)) ]] && sep=
+        ms=$(awk -v s="${medians[$i]}" 'BEGIN {printf "%.3f", s * 1000}')
+        echo "    {\"name\": \"${names[$i]}\", \"run_type\": \"iteration\"," \
+            "\"real_time\": $ms, \"cpu_time\": $ms, \"time_unit\": \"ms\"}$sep"
+    done
+    echo '  ]'
+    echo '}'
+} >"$out_json"
+echo "bench_wan: wrote $out_json"

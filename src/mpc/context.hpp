@@ -107,6 +107,38 @@ public:
     /// by-value handoff). Only the session's protocol thread may touch them.
     [[nodiscard]] std::vector<std::uint8_t>& send_scratch() { return send_scratch_; }
     [[nodiscard]] std::vector<std::uint8_t>& recv_scratch() { return recv_scratch_; }
+    /// Second recv scratch for protocols holding TWO payloads live at
+    /// once (the GC evaluator keeps the garbled tables while the label
+    /// transfer reuses recv_scratch()). Same single-thread rule.
+    [[nodiscard]] std::vector<std::uint8_t>& aux_recv_scratch() { return aux_recv_scratch_; }
+
+    /// Pipelined-session flag (SessionConfig::pipeline, default off for
+    /// bare contexts): when set, the HE linear layers stream per-channel
+    /// response chunks as they finish instead of batching the full
+    /// response. Wire bytes and order are identical either way.
+    void set_pipeline(bool enabled) { pipeline_ = enabled; }
+    [[nodiscard]] bool pipeline() const { return pipeline_; }
+
+    // -- prefetched share-mask draws -----------------------------------------
+    /// The server's share_prg() is consumed ONLY by the linear layers'
+    /// output masks, in layer order — so while layer k's nonlinear round
+    /// trips are in flight, the session layer may pre-draw layer k+1's
+    /// masks on another thread (synchronized by thread join) and stash
+    /// them here. next_mask_draw() then serves the stash in order before
+    /// falling back to the live stream; the draw sequence is identical
+    /// to the unprefetched path by construction.
+    void stash_mask_draws(std::vector<Ring> draws) {
+        require(!has_stashed_mask_draws(), "mask prefetch: previous stash not fully consumed");
+        mask_stash_ = std::move(draws);
+        mask_stash_pos_ = 0;
+    }
+    [[nodiscard]] bool has_stashed_mask_draws() const {
+        return mask_stash_pos_ < mask_stash_.size();
+    }
+    [[nodiscard]] Ring next_mask_draw() {
+        if (mask_stash_pos_ < mask_stash_.size()) return mask_stash_[mask_stash_pos_++];
+        return share_prg_.next_u64();
+    }
 
 private:
     net::Transport* transport_;
@@ -120,7 +152,10 @@ private:
     fss::KeyPool fss_pool_;
     GcCircuitCache* gc_cache_ = nullptr;
     GcCircuitCache owned_gc_cache_;
-    std::vector<std::uint8_t> send_scratch_, recv_scratch_;
+    std::vector<std::uint8_t> send_scratch_, recv_scratch_, aux_recv_scratch_;
+    bool pipeline_ = false;
+    std::vector<Ring> mask_stash_;
+    std::size_t mask_stash_pos_ = 0;
 };
 
 }  // namespace c2pi::mpc

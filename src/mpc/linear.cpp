@@ -1,6 +1,10 @@
 #include "mpc/linear.hpp"
 
+#include <condition_variable>
 #include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "core/thread_pool.hpp"
 
@@ -74,6 +78,88 @@ void send_ciphertext(PartyContext& ctx, const he::Ciphertext& ct) {
     return ct;
 }
 
+/// Channel-order handoff between the compute side (one thread driving
+/// the layer's parallel_for) and the protocol thread shipping responses:
+/// slot i is published the moment its ciphertext is finalized; take(i)
+/// blocks until then. A compute-side exception is parked and rethrown
+/// from the next take() so the protocol thread never deadlocks on a slot
+/// that will never fill.
+class ChunkStream {
+public:
+    explicit ChunkStream(std::size_t count) : slots_(count), ready_(count, 0) {}
+
+    void put(std::size_t i, he::Ciphertext ct) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            slots_[i] = std::move(ct);
+            ready_[i] = 1;
+        }
+        cv_.notify_all();
+    }
+    void fail(std::exception_ptr error) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            error_ = std::move(error);
+        }
+        cv_.notify_all();
+    }
+    [[nodiscard]] he::Ciphertext take(std::size_t i) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return ready_[i] != 0 || error_ != nullptr; });
+        if (ready_[i] == 0) std::rethrow_exception(error_);
+        return std::move(slots_[i]);
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<he::Ciphertext> slots_;
+    std::vector<char> ready_;
+    std::exception_ptr error_;
+};
+
+/// Compute `count` response ciphertexts and ship them in index order.
+/// Synchronous mode (ctx.pipeline() off) keeps the historical barrier:
+/// one parallel_for over all indices, then all sends. Pipelined mode
+/// overlaps the two: a producer thread drives the SAME parallel_for and
+/// publishes each chunk as it finishes, while the protocol thread ships
+/// chunk o the moment it is ready — later chunks are still in the NTT.
+/// Send order and per-message bytes are identical in both modes, so the
+/// wire transcript (and ChannelStats) never changes; parallel_for's
+/// rethrow semantics guarantee every index either publishes or the
+/// producer fails the stream after the loop unwinds.
+template <typename ComputeFn>
+void emit_responses(PartyContext& ctx, std::int64_t count, ComputeFn&& compute) {
+    const core::ThreadPool* pool = ctx.bfv().thread_pool();
+    if (!ctx.pipeline()) {
+        std::vector<he::Ciphertext> responses(static_cast<std::size_t>(count));
+        core::parallel_for(pool, 0, count, [&](std::int64_t o) {
+            responses[static_cast<std::size_t>(o)] = compute(o);
+        });
+        for (std::int64_t o = 0; o < count; ++o)
+            send_ciphertext(ctx, responses[static_cast<std::size_t>(o)]);
+        return;
+    }
+    ChunkStream stream(static_cast<std::size_t>(count));
+    std::thread producer([&] {
+        try {
+            core::parallel_for(pool, 0, count, [&](std::int64_t o) {
+                stream.put(static_cast<std::size_t>(o), compute(o));
+            });
+        } catch (...) {
+            stream.fail(std::current_exception());
+        }
+    });
+    try {
+        for (std::int64_t o = 0; o < count; ++o)
+            send_ciphertext(ctx, stream.take(static_cast<std::size_t>(o)));
+    } catch (...) {
+        producer.join();  // compute references stack state; outlive it
+        throw;
+    }
+    producer.join();
+}
+
 }  // namespace
 
 ConvLayerCache::ConvLayerCache(const he::BfvContext& bfv, const he::ConvGeometry& geo,
@@ -139,14 +225,15 @@ std::vector<Ring> he_conv_server(PartyContext& ctx, const ConvLayerCache& cache,
     // Fresh mask r per channel: client will end with conv(x_c) - r; the
     // server's share is conv(x_s) + bias + r. Masks are drawn up front in
     // channel order so the share-PRG stream never depends on the
-    // parallel schedule below.
+    // parallel schedule below (next_mask_draw serves the session layer's
+    // prefetched stash first — same draw sequence either way).
     std::vector<Ring> out_share(static_cast<std::size_t>(geo.out_channels * out_pixels));
     std::vector<std::vector<Ring>> masks(static_cast<std::size_t>(geo.out_channels));
     for (std::int64_t o = 0; o < geo.out_channels; ++o) {
         std::vector<Ring>& mask = masks[static_cast<std::size_t>(o)];
         mask.resize(static_cast<std::size_t>(out_pixels));
         for (std::int64_t i = 0; i < out_pixels; ++i) {
-            const Ring r = ctx.share_prg().next_u64();
+            const Ring r = ctx.next_mask_draw();
             mask[static_cast<std::size_t>(i)] = Ring{0} - r;
             Ring server_val = plain_part[static_cast<std::size_t>(o * out_pixels + i)] + r;
             if (!cache.bias2f.empty()) server_val += cache.bias2f[static_cast<std::size_t>(o)];
@@ -154,10 +241,10 @@ std::vector<Ring> he_conv_server(PartyContext& ctx, const ConvLayerCache& cache,
         }
     }
 
-    // Per-channel responses in parallel, shipped in channel order: the
-    // wire transcript is identical to the serial loop.
-    std::vector<he::Ciphertext> responses(static_cast<std::size_t>(geo.out_channels));
-    core::parallel_for(bfv.thread_pool(), 0, geo.out_channels, [&](std::int64_t o) {
+    // Per-channel responses in parallel, shipped in channel order (the
+    // wire transcript is identical to the serial loop); pipelined
+    // sessions stream each channel the moment it finalizes.
+    emit_responses(ctx, geo.out_channels, [&](std::int64_t o) {
         he::Ciphertext acc;
         bfv.multiply_plain(input_cts[0], cache.weight_ntt(0, o), acc);
         for (std::int64_t g = 1; g < enc.num_groups(); ++g) {
@@ -167,10 +254,8 @@ std::vector<Ring> he_conv_server(PartyContext& ctx, const ConvLayerCache& cache,
         bfv.from_ntt(acc);
         bfv.add_plain_at(acc, cache.scatter_idx, masks[static_cast<std::size_t>(o)]);
         bfv.mod_switch_to_two_limbs(acc);
-        responses[static_cast<std::size_t>(o)] = std::move(acc);
+        return acc;
     });
-    for (std::int64_t o = 0; o < geo.out_channels; ++o)
-        send_ciphertext(ctx, responses[static_cast<std::size_t>(o)]);
     return out_share;
 }
 
@@ -224,8 +309,9 @@ std::vector<Ring> he_matvec_server(PartyContext& ctx, const MatVecLayerCache& ca
     const auto plain_part = ring_matvec(cache.weights, x_share, in, out);
     std::vector<Ring> out_share(static_cast<std::size_t>(out));
 
-    // Block masks in block order first (PRG determinism), then the block
-    // responses in parallel, sent in block order.
+    // Block masks in block order first (PRG determinism — next_mask_draw
+    // serves any session-layer prefetch stash in the same order), then
+    // the block responses in parallel, sent in block order.
     std::vector<std::vector<Ring>> masks(static_cast<std::size_t>(enc.num_blocks()));
     for (std::int64_t b = 0; b < enc.num_blocks(); ++b) {
         const std::int64_t rows = std::min(enc.outs_per_block(), out - b * enc.outs_per_block());
@@ -233,7 +319,7 @@ std::vector<Ring> he_matvec_server(PartyContext& ctx, const MatVecLayerCache& ca
         mask.resize(static_cast<std::size_t>(rows));
         for (std::int64_t r = 0; r < rows; ++r) {
             const std::int64_t row = b * enc.outs_per_block() + r;
-            const Ring rv = ctx.share_prg().next_u64();
+            const Ring rv = ctx.next_mask_draw();
             mask[static_cast<std::size_t>(r)] = Ring{0} - rv;
             Ring server_val = plain_part[static_cast<std::size_t>(row)] + rv;
             if (!cache.bias2f.empty()) server_val += cache.bias2f[static_cast<std::size_t>(row)];
@@ -241,18 +327,15 @@ std::vector<Ring> he_matvec_server(PartyContext& ctx, const MatVecLayerCache& ca
         }
     }
 
-    std::vector<he::Ciphertext> responses(static_cast<std::size_t>(enc.num_blocks()));
-    core::parallel_for(bfv.thread_pool(), 0, enc.num_blocks(), [&](std::int64_t b) {
+    emit_responses(ctx, enc.num_blocks(), [&](std::int64_t b) {
         he::Ciphertext acc;
         bfv.multiply_plain(input_ct, cache.w_ntt[static_cast<std::size_t>(b)], acc);
         bfv.from_ntt(acc);
         bfv.add_plain_at(acc, cache.scatter_idx[static_cast<std::size_t>(b)],
                          masks[static_cast<std::size_t>(b)]);
         bfv.mod_switch_to_two_limbs(acc);
-        responses[static_cast<std::size_t>(b)] = std::move(acc);
+        return acc;
     });
-    for (std::int64_t b = 0; b < enc.num_blocks(); ++b)
-        send_ciphertext(ctx, responses[static_cast<std::size_t>(b)]);
     return out_share;
 }
 

@@ -13,13 +13,15 @@ BitVec open_bits(PartyContext& ctx, std::span<const std::uint8_t> share) {
     std::vector<std::uint8_t> packed((share.size() + 7) / 8, 0);
     for (std::size_t i = 0; i < share.size(); ++i)
         packed[i / 8] |= static_cast<std::uint8_t>((share[i] & 1U) << (i % 8));
-    // Deterministic order: server sends first.
-    std::vector<std::uint8_t> theirs;
+    // Deterministic order: server sends first. The reply lands in the
+    // session's recv scratch — the open runs once per AND round, so the
+    // buffer stays warm across the whole millionaire tree.
+    std::vector<std::uint8_t>& theirs = ctx.recv_scratch();
     if (ctx.is_server()) {
         ctx.transport().send_bytes(packed);
-        theirs = ctx.transport().recv_bytes();
+        ctx.transport().recv_bytes_into(theirs);
     } else {
-        theirs = ctx.transport().recv_bytes();
+        ctx.transport().recv_bytes_into(theirs);
         ctx.transport().send_bytes(packed);
     }
     require(theirs.size() == packed.size(), "open_bits size mismatch");

@@ -89,9 +89,12 @@ std::vector<Ring> gc_batch_evaluator(PartyContext& ctx, const crypto::Circuit& c
     for (std::size_t chunk_begin = 0; chunk_begin < n; chunk_begin += kGcChunk) {
         const std::size_t count = std::min(kGcChunk, n - chunk_begin);
 
+        // Garbled tables land in the AUX scratch: they must stay live
+        // while the label transfer below refills the primary scratch.
         const auto saved_phase = ctx.transport().phase();
         ctx.transport().set_phase(net::Phase::kOffline);
-        const auto tables_payload = ctx.transport().recv_bytes();
+        std::vector<std::uint8_t>& tables_payload = ctx.aux_recv_scratch();
+        ctx.transport().recv_bytes_into(tables_payload);
         ctx.transport().set_phase(saved_phase);
         require(tables_payload.size() == count * (table_blocks * 16 + decode_bytes),
                 "GC table payload size mismatch");
@@ -109,7 +112,8 @@ std::vector<Ring> gc_batch_evaluator(PartyContext& ctx, const crypto::Circuit& c
             }
         }
         const auto eval_labels = crypto::ot_recv_blocks(ctx.transport(), ctx.ot_receiver(), choices);
-        const auto label_payload = ctx.transport().recv_bytes();
+        std::vector<std::uint8_t>& label_payload = ctx.recv_scratch();
+        ctx.transport().recv_bytes_into(label_payload);
         require(label_payload.size() == count * g_bits * 16, "GC garbler label size mismatch");
 
         for (std::size_t i = 0; i < count; ++i) {
@@ -272,9 +276,9 @@ std::vector<Ring> reveal_shares(PartyContext& ctx, std::span<const Ring> share) 
     std::vector<Ring> theirs;
     if (ctx.is_server()) {
         ctx.transport().send_u64s(share);
-        theirs = ctx.transport().recv_u64s();
+        ctx.transport().recv_u64s_into(ctx.recv_scratch(), theirs);
     } else {
-        theirs = ctx.transport().recv_u64s();
+        ctx.transport().recv_u64s_into(ctx.recv_scratch(), theirs);
         ctx.transport().send_u64s(share);
     }
     require(theirs.size() == share.size(), "reveal size mismatch");
@@ -285,7 +289,8 @@ std::vector<Ring> reveal_shares(PartyContext& ctx, std::span<const Ring> share) 
 
 std::vector<Ring> reveal_shares_to(PartyContext& ctx, std::span<const Ring> share, int to_party) {
     if (ctx.party() == to_party) {
-        const auto theirs = ctx.transport().recv_u64s();
+        std::vector<Ring> theirs;
+        ctx.transport().recv_u64s_into(ctx.recv_scratch(), theirs);
         require(theirs.size() == share.size(), "reveal size mismatch");
         std::vector<Ring> out(share.size());
         for (std::size_t i = 0; i < share.size(); ++i) out[i] = share[i] + theirs[i];

@@ -9,6 +9,7 @@
 /// channel's shared ChannelStats. The socket-backed sibling is
 /// `TcpTransport` (tcp.hpp); both keep bit-identical accounting.
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -111,13 +112,23 @@ public:
     }
 
     [[nodiscard]] std::vector<std::uint8_t> recv_bytes() override {
-        auto msg = channel_->queue_to(party_).pop();
+        auto msg = timed_pop(phase_);
         require(msg.kind == ByteQueue::MsgKind::kData,
                 "in-proc recv: unexpected bootstrap/keys message mid-protocol");
         return std::move(msg.bytes);
     }
 
     [[nodiscard]] ChannelStats stats() const override { return channel_->stats(); }
+
+    /// Recv wait is the queue-pop block; a push never blocks, so the
+    /// in-process send path is already "pipelined" and set_pipelined_
+    /// sends / flush_sends stay the base-class no-ops. Pop waits are
+    /// attributed to the RECEIVER's current phase (the two parties move
+    /// phases in lock-step, so this matches the sender's tag).
+    [[nodiscard]] WaitStats wait_stats() const override {
+        const std::lock_guard<std::mutex> lock(wait_mutex_);
+        return waits_;
+    }
 
     /// Abrupt disconnect: both directions die — the peer's next empty-
     /// queue pop raises PeerClosed, and so does ours (nothing more can
@@ -151,14 +162,26 @@ public:
             {std::vector<std::uint8_t>(bytes.begin(), bytes.end()), ByteQueue::MsgKind::kKeys});
     }
     [[nodiscard]] std::vector<std::uint8_t> recv_keys_bytes() override {
-        auto msg = channel_->queue_to(party_).pop();
+        auto msg = timed_pop(Phase::kPreprocess);
         require(msg.kind == ByteQueue::MsgKind::kKeys,
                 "in-proc recv: expected a preprocessing key batch");
         return std::move(msg.bytes);
     }
 
 private:
+    [[nodiscard]] ByteQueue::Msg timed_pop(Phase phase) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto msg = channel_->queue_to(party_).pop();
+        const double waited =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        const std::lock_guard<std::mutex> lock(wait_mutex_);
+        waits_.add_recv(phase, waited);
+        return msg;
+    }
+
     DuplexChannel* channel_;
+    mutable std::mutex wait_mutex_;
+    WaitStats waits_;
 };
 
 }  // namespace c2pi::net

@@ -166,6 +166,13 @@ public:
     }
 
     [[nodiscard]] ChannelStats stats() const override { return inner_->stats(); }
+    [[nodiscard]] WaitStats wait_stats() const override { return inner_->wait_stats(); }
+
+    /// Pipelined sends pass straight through: faults are applied on the
+    /// protocol thread at enqueue time (above the inner transport's
+    /// queue), so a schedule fires at the same op index in both modes.
+    void set_pipelined_sends(bool enabled) override { inner_->set_pipelined_sends(enabled); }
+    void flush_sends() override { inner_->flush_sends(); }
 
     void abort_connection() noexcept override { inner_->abort_connection(); }
 

@@ -94,6 +94,17 @@ std::uint32_t get_u32le(const std::uint8_t* p) {
            static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Bound on bytes parked in the pipelined send queue; past it the
+/// protocol thread blocks (charged as send wait) until the writer
+/// catches up, so a slow link applies backpressure instead of buffering
+/// a whole inference unboundedly. A single over-bound frame is still
+/// admitted when the queue is empty.
+constexpr std::size_t kMaxQueuedSendBytes = std::size_t{1} << 26;  // 64 MiB
+
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -159,6 +170,19 @@ void TcpTransport::send_frame(FrameType type, Phase phase,
     header[4] = static_cast<std::uint8_t>(type);
     header[5] = static_cast<std::uint8_t>(phase);
     header[6] = header[7] = 0;
+    if (pipelined_) {
+        // Pipelined path: copy header+payload into one contiguous frame
+        // and hand it to the writer thread. The copy frees the caller's
+        // buffer (protocols reuse a per-session scratch) immediately;
+        // frame ORDER is the queue order, so the wire transcript is
+        // byte-identical to the synchronous path.
+        std::vector<std::uint8_t> frame(kFrameHeaderSize + payload.size());
+        std::memcpy(frame.data(), header, kFrameHeaderSize);
+        if (!payload.empty())
+            std::memcpy(frame.data() + kFrameHeaderSize, payload.data(), payload.size());
+        enqueue_frame(std::move(frame), phase);
+        return;
+    }
     // Gathered write: header and payload go out in one sendmsg (sharing a
     // TCP segment when they fit) without copying the payload — the HE
     // ciphertext messages are multiple megabytes. Partial writes resume
@@ -191,9 +215,17 @@ void TcpTransport::send_frame(FrameType type, Phase phase,
 
 void TcpTransport::send_bytes(std::span<const std::uint8_t> data) {
     require(is_open(), "tcp send: transport is closed");
+    // Synchronous sends charge the whole socket write as send wait; the
+    // pipelined path charges only queue-full backpressure (inside
+    // enqueue_frame). Stats are recorded here on the protocol thread in
+    // BOTH modes, so ChannelStats ordering (flights) never depends on
+    // writer scheduling.
+    const auto t0 = std::chrono::steady_clock::now();
     send_frame(FrameType::kData, phase_, data);
+    const double waited = pipelined_ ? 0.0 : seconds_since(t0);
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.record(party_, phase_, data.size());
+    waits_.add_send(phase_, waited);
 }
 
 std::vector<std::uint8_t> TcpTransport::recv_bytes() {
@@ -205,6 +237,10 @@ std::vector<std::uint8_t> TcpTransport::recv_bytes() {
 Phase TcpTransport::recv_frame_into(std::vector<std::uint8_t>& out, FrameType expected) {
     require(is_open(), "tcp recv: transport is closed");
     require(!peer_shutdown_, "tcp recv: peer already ended the session");
+    // Surface an asynchronous send failure here rather than waiting out
+    // the recv timeout on a reply that can never come (our request died
+    // in the writer).
+    rethrow_writer_error();
     std::uint8_t header[kFrameHeaderSize];
     if (!read_all(fd_, header, sizeof(header)))
         throw PeerClosed("tcp recv: connection closed mid-protocol (no shutdown frame)");
@@ -274,9 +310,12 @@ Phase TcpTransport::recv_frame_into(std::vector<std::uint8_t>& out, FrameType ex
 }
 
 void TcpTransport::recv_bytes_into(std::vector<std::uint8_t>& out) {
+    const auto t0 = std::chrono::steady_clock::now();
     const Phase phase = recv_frame_into(out, FrameType::kData);
+    const double waited = seconds_since(t0);
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.record(1 - party_, phase, out.size());
+    waits_.add_recv(phase, waited);
 }
 
 void TcpTransport::send_artifact_bytes(std::span<const std::uint8_t> bytes) {
@@ -309,15 +348,128 @@ void TcpTransport::send_keys_bytes(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> TcpTransport::recv_keys_bytes() {
     std::vector<std::uint8_t> payload;
+    const auto t0 = std::chrono::steady_clock::now();
     const Phase phase = recv_frame_into(payload, FrameType::kKeys);
+    const double waited = seconds_since(t0);
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.record(1 - party_, phase, payload.size());
+    waits_.add_recv(phase, waited);
     return payload;
 }
 
 ChannelStats TcpTransport::stats() const {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     return stats_;
+}
+
+WaitStats TcpTransport::wait_stats() const {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return waits_;
+}
+
+// --------------------------------------------------------- pipelined sends ---
+
+void TcpTransport::set_pipelined_sends(bool enabled) {
+    if (enabled == pipelined_) return;
+    if (enabled) {
+        require(is_open(), "set_pipelined_sends: transport is closed");
+        writer_stop_ = false;
+        writer_error_ = nullptr;
+        writer_ = std::thread([this] { writer_loop(); });
+        pipelined_ = true;
+    } else {
+        stop_writer(/*swallow_errors=*/false);
+    }
+}
+
+void TcpTransport::flush_sends() {
+    if (!pipelined_) return;
+    std::unique_lock<std::mutex> lock(send_mutex_);
+    double waited = 0.0;
+    if (!send_queue_.empty() || writer_busy_) {
+        const auto t0 = std::chrono::steady_clock::now();
+        drain_cv_.wait(lock,
+                       [&] { return writer_error_ || (send_queue_.empty() && !writer_busy_); });
+        waited = seconds_since(t0);
+    }
+    if (writer_error_) std::rethrow_exception(writer_error_);
+    lock.unlock();
+    const std::lock_guard<std::mutex> slock(stats_mutex_);
+    waits_.add_send(phase_, waited);
+}
+
+void TcpTransport::enqueue_frame(std::vector<std::uint8_t> frame, Phase phase) {
+    std::unique_lock<std::mutex> lock(send_mutex_);
+    if (writer_error_) std::rethrow_exception(writer_error_);
+    double waited = 0.0;
+    if (!send_queue_.empty() && queued_send_bytes_ + frame.size() > kMaxQueuedSendBytes) {
+        const auto t0 = std::chrono::steady_clock::now();
+        drain_cv_.wait(lock, [&] {
+            return writer_error_ || send_queue_.empty() ||
+                   queued_send_bytes_ + frame.size() <= kMaxQueuedSendBytes;
+        });
+        waited = seconds_since(t0);
+        if (writer_error_) std::rethrow_exception(writer_error_);
+    }
+    queued_send_bytes_ += frame.size();
+    send_queue_.push_back(std::move(frame));
+    lock.unlock();
+    send_cv_.notify_one();
+    if (waited > 0.0) {
+        const std::lock_guard<std::mutex> slock(stats_mutex_);
+        waits_.add_send(phase, waited);
+    }
+}
+
+void TcpTransport::writer_loop() {
+    std::unique_lock<std::mutex> lock(send_mutex_);
+    for (;;) {
+        send_cv_.wait(lock, [&] { return writer_stop_ || !send_queue_.empty(); });
+        if (send_queue_.empty()) {
+            if (writer_stop_) return;  // graceful stop drains first
+            continue;
+        }
+        std::vector<std::uint8_t> frame = std::move(send_queue_.front());
+        send_queue_.pop_front();
+        writer_busy_ = true;  // byte count stays up until the write lands
+        lock.unlock();
+        try {
+            write_all(fd_, frame.data(), frame.size());
+        } catch (...) {
+            lock.lock();
+            writer_error_ = std::current_exception();
+            writer_busy_ = false;
+            send_queue_.clear();
+            queued_send_bytes_ = 0;
+            drain_cv_.notify_all();
+            return;
+        }
+        lock.lock();
+        queued_send_bytes_ -= frame.size();
+        writer_busy_ = false;
+        drain_cv_.notify_all();
+    }
+}
+
+void TcpTransport::stop_writer(bool swallow_errors) {
+    pipelined_ = false;
+    if (!writer_.joinable()) return;
+    {
+        const std::lock_guard<std::mutex> lock(send_mutex_);
+        writer_stop_ = true;  // the writer drains the queue, then exits
+    }
+    send_cv_.notify_all();
+    writer_.join();
+    if (!swallow_errors) {
+        const std::lock_guard<std::mutex> lock(send_mutex_);
+        if (writer_error_) std::rethrow_exception(writer_error_);
+    }
+}
+
+void TcpTransport::rethrow_writer_error() {
+    if (!pipelined_) return;
+    const std::lock_guard<std::mutex> lock(send_mutex_);
+    if (writer_error_) std::rethrow_exception(writer_error_);
 }
 
 void TcpTransport::apply_recv_timeout(int milliseconds) {
@@ -347,11 +499,30 @@ void TcpTransport::arm_handshake_deadline(int milliseconds) {
 void TcpTransport::abort_connection() noexcept {
     // No goodbye frame, no drain: the peer's next read sees a raw EOF
     // (or a reset if it had data in flight) — indistinguishable from a
-    // crashed process, which is the point.
+    // crashed process, which is the point. A writer stuck in send(2) is
+    // unblocked by the shutdown BEFORE the fd closes (closing under an
+    // in-flight write races fd reuse); its queue is dropped, not drained
+    // — a hard abort sends nothing more.
+    if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+    if (writer_.joinable()) {
+        {
+            const std::lock_guard<std::mutex> lock(send_mutex_);
+            writer_stop_ = true;
+            send_queue_.clear();
+            queued_send_bytes_ = 0;
+        }
+        send_cv_.notify_all();
+        writer_.join();
+    }
+    pipelined_ = false;
     close_quietly(fd_);
 }
 
 void TcpTransport::close() noexcept {
+    // Drain the pipelined queue (the goodbye must FOLLOW every data
+    // frame) and retire the writer before the synchronous goodbye below;
+    // a writer that already failed has nothing left to deliver.
+    stop_writer(/*swallow_errors=*/true);
     if (fd_ < 0) return;
     // Best-effort goodbye so the peer sees a clean end-of-session, then
     // half-close and drain: waiting for the peer's EOF (or goodbye)
@@ -379,6 +550,7 @@ void TcpTransport::close() noexcept {
 }
 
 void TcpTransport::close_now() noexcept {
+    stop_writer(/*swallow_errors=*/true);
     if (fd_ < 0) return;
     try {
         send_frame(FrameType::kShutdown, phase_, {});

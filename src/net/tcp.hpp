@@ -21,10 +21,14 @@
 /// mid-protocol crash (abrupt EOF), and both throw `c2pi::Error` from a
 /// pending `recv_bytes`.
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "net/transport.hpp"
 
@@ -82,6 +86,18 @@ public:
     /// reused) — no per-message allocation once the buffer has grown.
     void recv_bytes_into(std::vector<std::uint8_t>& out) override;
     [[nodiscard]] ChannelStats stats() const override;
+    [[nodiscard]] WaitStats wait_stats() const override;
+
+    /// Pipelined sends (docs/PROTOCOL.md §10): ON spawns a writer thread
+    /// draining a bounded queue of pre-framed messages, so send_bytes
+    /// copies the frame and returns while the NIC drains; OFF flushes the
+    /// queue and joins the writer. Stats are recorded at enqueue time on
+    /// the protocol thread, so ChannelStats — bytes, messages, flights —
+    /// are bit-identical to the synchronous path. A writer-side socket
+    /// failure is stored and rethrown from the next send/recv/flush on
+    /// the protocol thread.
+    void set_pipelined_sends(bool enabled) override;
+    void flush_sends() override;
 
     /// Session bootstrap: the serialized model artifact travels in its
     /// own kArtifact frame, sent by the server immediately after the
@@ -151,12 +167,34 @@ private:
     /// Apply an SO_RCVTIMEO in milliseconds (0 = block forever).
     void apply_recv_timeout(int milliseconds);
 
+    /// Queue one pre-framed buffer for the writer thread, blocking (and
+    /// charging WaitStats) while the queue is over its byte bound.
+    void enqueue_frame(std::vector<std::uint8_t> frame, Phase phase);
+    /// Drain the queue through the writer, then join it. Rethrows a
+    /// pending writer error unless `swallow_errors` (the close path).
+    void stop_writer(bool swallow_errors) noexcept(false);
+    void writer_loop();
+    void rethrow_writer_error();
+
     int fd_ = -1;
     bool peer_shutdown_ = false;
     int steady_recv_timeout_ms_ = 0;     ///< set_recv_timeout's value
     bool handshake_deadline_armed_ = false;  ///< until the first DATA frame
     mutable std::mutex stats_mutex_;
     ChannelStats stats_;
+    WaitStats waits_;  ///< guarded by stats_mutex_
+
+    // -- pipelined send path (protocol thread + one writer thread) -----------
+    bool pipelined_ = false;  ///< protocol-thread-only flag
+    std::thread writer_;
+    std::mutex send_mutex_;
+    std::condition_variable send_cv_;    ///< wakes the writer
+    std::condition_variable drain_cv_;   ///< wakes enqueuers / flush
+    std::deque<std::vector<std::uint8_t>> send_queue_;
+    std::size_t queued_send_bytes_ = 0;
+    bool writer_stop_ = false;
+    bool writer_busy_ = false;  ///< a frame is popped but not yet written
+    std::exception_ptr writer_error_;
 };
 
 /// Listening socket for the server party. Binds immediately (port 0 asks

@@ -108,6 +108,35 @@ struct ChannelStats {
     friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
 };
 
+/// Seconds an endpoint spent *blocked on the network*, per phase and
+/// direction: waiting for a peer message to arrive (recv), or waiting
+/// for the transport to accept outgoing bytes (a synchronous socket
+/// write, or a full pipelined send queue). Kept OUT of ChannelStats on
+/// purpose — wall time is nondeterministic, and ChannelStats equality is
+/// what the wire-parity tests pin. Subtracting the wait from a phase's
+/// wall time yields its compute time, which is how pi_server/pi_client
+/// report the compute/communication overlap of the pipelined online
+/// phase.
+struct WaitStats {
+    double send_seconds[kNumPhases] = {};  ///< blocked handing bytes to the transport
+    double recv_seconds[kNumPhases] = {};  ///< blocked waiting for the peer
+
+    void add_send(Phase phase, double seconds) {
+        send_seconds[static_cast<int>(phase)] += seconds;
+    }
+    void add_recv(Phase phase, double seconds) {
+        recv_seconds[static_cast<int>(phase)] += seconds;
+    }
+    [[nodiscard]] double phase_seconds(Phase p) const {
+        return send_seconds[static_cast<int>(p)] + recv_seconds[static_cast<int>(p)];
+    }
+    [[nodiscard]] double total_seconds() const {
+        double total = 0.0;
+        for (int p = 0; p < kNumPhases; ++p) total += send_seconds[p] + recv_seconds[p];
+        return total;
+    }
+};
+
 /// A party's endpoint of a two-party connection. party_id is 0 (server)
 /// or 1 (client) by convention throughout the repo.
 ///
@@ -145,6 +174,24 @@ public:
     virtual void recv_bytes_into(std::vector<std::uint8_t>& out) { out = recv_bytes(); }
     /// Snapshot of this connection's traffic accounting.
     [[nodiscard]] virtual ChannelStats stats() const = 0;
+    /// Snapshot of this endpoint's blocked-on-network time. Defaults to
+    /// zero for transports that do not measure it (test recorders).
+    [[nodiscard]] virtual WaitStats wait_stats() const { return {}; }
+
+    // -- pipelined sends -----------------------------------------------------
+    /// Switch this endpoint's send path between synchronous (send_bytes
+    /// returns after the bytes reached the OS) and pipelined (send_bytes
+    /// enqueues into a bounded per-session queue drained by a writer
+    /// thread and returns immediately). Frame order, per-message bytes,
+    /// and ChannelStats accounting are identical in both modes — stats
+    /// are recorded at enqueue time on the protocol thread — so the wire
+    /// transcript is bit-identical either way. Transports whose sends
+    /// already never block (the in-process queue) treat this as a no-op.
+    virtual void set_pipelined_sends(bool enabled) { (void)enabled; }
+    /// Block until every pipelined send has been handed to the OS,
+    /// rethrowing any asynchronous send failure on the calling thread.
+    /// A no-op for synchronous transports.
+    virtual void flush_sends() {}
 
     /// Hard abort: tear the connection down *without* the goodbye
     /// sequence, so the peer observes an abrupt end (PeerClosed) rather
@@ -201,6 +248,16 @@ public:
         std::vector<std::uint64_t> values(raw.size() / 8);
         std::memcpy(values.data(), raw.data(), raw.size());
         return values;
+    }
+
+    /// Like recv_u64s, but stages the frame through a caller-owned byte
+    /// scratch (recv_bytes_into) so steady-state reveal rounds allocate
+    /// nothing once the scratch and output have warmed up.
+    void recv_u64s_into(std::vector<std::uint8_t>& scratch, std::vector<std::uint64_t>& values) {
+        recv_bytes_into(scratch);
+        require(scratch.size() % 8 == 0, "recv_u64s: payload not a multiple of 8 bytes");
+        values.resize(scratch.size() / 8);
+        std::memcpy(values.data(), scratch.data(), scratch.size());
     }
 
     void send_u64(std::uint64_t v) { send_u64s(std::span<const std::uint64_t>(&v, 1)); }

@@ -55,12 +55,23 @@ struct PiStats {
     std::uint64_t online_flights = 0;
     std::uint64_t preprocess_flights = 0;
     double wall_seconds = 0.0;
+    /// Seconds this party spent blocked on the network (recv waits plus
+    /// pipelined-send backpressure/flush), split per phase. Filled by
+    /// stats_from_transport; compute time for a phase is its wall share
+    /// minus these. Deliberately NOT part of the byte/flight accounting
+    /// that parity tests compare — timing is never deterministic.
+    double offline_wait_seconds = 0.0;
+    double online_wait_seconds = 0.0;
+    double preprocess_wait_seconds = 0.0;
 
     [[nodiscard]] std::uint64_t total_bytes() const {
         return offline_bytes + online_bytes + preprocess_bytes;
     }
     [[nodiscard]] std::uint64_t total_flights() const {
         return offline_flights + online_flights + preprocess_flights;
+    }
+    [[nodiscard]] double total_wait_seconds() const {
+        return offline_wait_seconds + online_wait_seconds + preprocess_wait_seconds;
     }
 
     /// End-to-end latency under a network model (DESIGN.md §4 subst. 5).

@@ -120,7 +120,7 @@ void ServingPool::serve_one(net::TcpTransport& transport, std::uint64_t index) n
         } else {
             session_.run(transport);
         }
-        report.stats = stats_from_channel(transport.stats());
+        report.stats = stats_from_transport(transport);
         report.stats.wall_seconds = watch.seconds();
         report.ok = true;
     } catch (const std::exception& e) {
@@ -146,6 +146,9 @@ void ServingPool::serve_one(net::TcpTransport& transport, std::uint64_t index) n
             stats_.traffic.online_flights += report.stats.online_flights;
             stats_.traffic.preprocess_flights += report.stats.preprocess_flights;
             stats_.traffic.wall_seconds += report.stats.wall_seconds;
+            stats_.traffic.offline_wait_seconds += report.stats.offline_wait_seconds;
+            stats_.traffic.online_wait_seconds += report.stats.online_wait_seconds;
+            stats_.traffic.preprocess_wait_seconds += report.stats.preprocess_wait_seconds;
         } else {
             ++stats_.failed;
             ++stats_.failed_by_class[static_cast<int>(report.failure)];

@@ -1,6 +1,9 @@
 #include "pi/session.hpp"
 
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <thread>
 
 #include "fss/compare.hpp"
 #include "fss/key_pool.hpp"
@@ -8,6 +11,13 @@
 #include "mpc/nonlinear.hpp"
 
 namespace c2pi::pi {
+
+bool pipeline_default() {
+    const char* env = std::getenv("C2PI_PIPELINE");
+    if (env == nullptr) return true;
+    const std::string_view v(env);
+    return !(v == "0" || v == "off");
+}
 
 mpc::NonlinearBackend resolve_nonlinear(const SessionConfig& config) {
     if (config.nonlinear.has_value()) return *config.nonlinear;
@@ -68,7 +78,8 @@ std::vector<Ring> local_avgpool(std::span<const Ring> x, const LayerPlan& p,
 /// parity pin, tested in fss_test.cpp).
 std::vector<Ring> reshare_canonical(mpc::PartyContext& ctx, std::vector<Ring> share) {
     if (ctx.is_server()) {
-        const auto delta = ctx.transport().recv_u64s();
+        std::vector<Ring> delta;
+        ctx.transport().recv_u64s_into(ctx.recv_scratch(), delta);
         require(delta.size() == share.size(), "reshare delta size mismatch");
         for (std::size_t i = 0; i < share.size(); ++i) share[i] += delta[i];
     } else {
@@ -82,6 +93,58 @@ std::vector<Ring> reshare_canonical(mpc::PartyContext& ctx, std::vector<Ring> sh
     }
     return share;
 }
+
+/// Cross-layer overlap (pipelined sessions, server only): while a
+/// nonlinear layer's OT/GC/FSS round trips are in flight, pre-draw the
+/// NEXT linear layer's output masks from share_prg() on a helper thread
+/// and stash them in the context. The server's share stream is consumed
+/// ONLY by linear-layer masks, in layer order (context.hpp), so drawing
+/// them early cannot change any value — next_mask_draw() replays the
+/// stash in the exact order the live stream would have produced. The
+/// client never prefetches: its share stream also feeds encryption noise
+/// and post-nonlinear resharing, which interleave with these rounds.
+/// Synchronization is by thread create/join only; the protocol thread
+/// never touches share_prg() while the helper runs.
+class MaskPrefetch {
+public:
+    MaskPrefetch(mpc::PartyContext& ctx, const std::vector<LayerPlan>& plan, std::size_t after)
+        : ctx_(ctx) {
+        if (!ctx_.is_server() || !ctx_.pipeline() || ctx_.has_stashed_mask_draws()) return;
+        std::int64_t count = 0;
+        for (std::size_t j = after + 1; j < plan.size(); ++j) {
+            if (plan[j].op == PlanOp::kConv || plan[j].op == PlanOp::kLinear) {
+                count = shape_numel(plan[j].out_shape);
+                break;
+            }
+        }
+        if (count <= 0) return;
+        thread_ = std::thread([this, count] {
+            draws_.resize(static_cast<std::size_t>(count));
+            for (auto& d : draws_) d = ctx_.share_prg().next_u64();
+        });
+    }
+
+    /// Joins and hands the draws to the context. Call after the nonlinear
+    /// layer completes; if an exception unwinds past instead, the
+    /// destructor just joins — the session is dead, the stream state
+    /// no longer matters.
+    void commit() {
+        if (!thread_.joinable()) return;
+        thread_.join();
+        ctx_.stash_mask_draws(std::move(draws_));
+    }
+
+    ~MaskPrefetch() {
+        if (thread_.joinable()) thread_.join();
+    }
+    MaskPrefetch(const MaskPrefetch&) = delete;
+    MaskPrefetch& operator=(const MaskPrefetch&) = delete;
+
+private:
+    mpc::PartyContext& ctx_;
+    std::vector<Ring> draws_;
+    std::thread thread_;
+};
 
 struct PartyRun {
     const std::vector<LayerPlan>& plan;
@@ -125,15 +188,20 @@ struct PartyRun {
                         v = static_cast<Ring>(static_cast<std::int64_t>(v) >> fmt.frac_bits);
                     break;
                 }
-                case PlanOp::kRelu:
+                case PlanOp::kRelu: {
+                    MaskPrefetch prefetch(ctx, plan, i);
                     share = reshare_canonical(ctx, mpc::secure_relu(ctx, share, nonlinear));
+                    prefetch.commit();
                     break;
+                }
                 case PlanOp::kMaxPool: {
+                    MaskPrefetch prefetch(ctx, plan, i);
                     mpc::RingTensor t(p.in_shape, std::move(share));
                     share = reshare_canonical(
                         ctx,
                         mpc::secure_maxpool(ctx, t, p.pool_kernel, p.pool_stride, nonlinear)
                             .data);
+                    prefetch.commit();
                     break;
                 }
                 case PlanOp::kAvgPool:
@@ -161,6 +229,10 @@ void ServerSession::run(net::Transport& transport, const TailFn& tail) const {
     const CompiledModel& cm = *model_;
     mpc::PartyContext ctx(transport, cm.fmt(), cm.bfv(), session_seed(config_));
     ctx.set_gc_cache(&cm.gc_cache());
+    // Pipelining is local scheduling only (wire-identical); each party
+    // decides for itself, so no negotiation byte is needed.
+    ctx.set_pipeline(config_.pipeline);
+    transport.set_pipelined_sends(config_.pipeline);
     const mpc::NonlinearBackend nonlinear = resolve_nonlinear(config_);
     // Charge the dealer/base-OT setup to the offline phase. The last byte
     // of the setup message announces the server's (authoritative)
@@ -185,6 +257,7 @@ void ServerSession::run(net::Transport& transport, const TailFn& tail) const {
     if (cm.full_pi()) {
         // Reveal logits to the client only.
         (void)mpc::reveal_shares_to(ctx, share, mpc::kClient);
+        transport.flush_sends();
         return;
     }
     // C2PI: receive the client's (noised) share, finish in the clear.
@@ -198,6 +271,7 @@ void ServerSession::run(net::Transport& transport, const TailFn& tail) const {
     for (std::int64_t i = 0; i < out.numel(); ++i)
         packed[static_cast<std::size_t>(i)] = cm.fmt().encode(out[i]);
     transport.send_u64s(packed);
+    transport.flush_sends();
 }
 
 void validate_client_input(const ModelArtifact& artifact, const Tensor& input) {
@@ -212,6 +286,8 @@ Tensor ClientSession::run(net::Transport& transport, const Tensor& input) const 
 
     mpc::PartyContext ctx(transport, art.fmt, *bfv_, session_seed(config_));
     if (gc_cache_ != nullptr) ctx.set_gc_cache(gc_cache_);
+    ctx.set_pipeline(config_.pipeline);
+    transport.set_pipelined_sends(config_.pipeline);
     transport.set_phase(net::Phase::kOffline);
     // Dealer setup; its trailing byte is the server's announced nonlinear
     // backend, which is authoritative for the session.
@@ -241,6 +317,7 @@ Tensor ClientSession::run(net::Transport& transport, const Tensor& input) const 
     Tensor logits;
     if (art.full_pi) {
         const auto out = mpc::reveal_shares_to(ctx, share, mpc::kClient);
+        transport.flush_sends();
         logits = Tensor({1, static_cast<std::int64_t>(out.size())});
         for (std::size_t i = 0; i < out.size(); ++i)
             logits[static_cast<std::int64_t>(i)] = static_cast<float>(art.fmt.decode(out[i]));
@@ -257,6 +334,7 @@ Tensor ClientSession::run(net::Transport& transport, const Tensor& input) const 
     }
     (void)mpc::reveal_shares_to(ctx, share, mpc::kServer);
     const auto packed = transport.recv_u64s();
+    transport.flush_sends();
     logits = Tensor({1, static_cast<std::int64_t>(packed.size())});
     for (std::size_t i = 0; i < packed.size(); ++i)
         logits[static_cast<std::int64_t>(i)] = static_cast<float>(art.fmt.decode(packed[i]));
@@ -271,6 +349,15 @@ PiStats stats_from_channel(const net::ChannelStats& channel) {
     stats.offline_flights = channel.phase_flights(net::Phase::kOffline);
     stats.online_flights = channel.phase_flights(net::Phase::kOnline);
     stats.preprocess_flights = channel.phase_flights(net::Phase::kPreprocess);
+    return stats;
+}
+
+PiStats stats_from_transport(const net::Transport& transport) {
+    PiStats stats = stats_from_channel(transport.stats());
+    const net::WaitStats waits = transport.wait_stats();
+    stats.offline_wait_seconds = waits.phase_seconds(net::Phase::kOffline);
+    stats.online_wait_seconds = waits.phase_seconds(net::Phase::kOnline);
+    stats.preprocess_wait_seconds = waits.phase_seconds(net::Phase::kPreprocess);
     return stats;
 }
 

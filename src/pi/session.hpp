@@ -29,6 +29,10 @@
 
 namespace c2pi::pi {
 
+/// Default for SessionConfig::pipeline: true unless the environment sets
+/// C2PI_PIPELINE to "0" or "off" (CI runs the full suite both ways).
+[[nodiscard]] bool pipeline_default();
+
 /// Per-connection protocol parameters. Both parties of a session must
 /// agree on all fields (the seed feeds the trusted-dealer base-OT
 /// substitution, DESIGN.md §4).
@@ -44,6 +48,12 @@ struct SessionConfig {
     /// announced at session start, and a client whose own explicit choice
     /// differs raises NonlinearMismatch instead of hanging mid-protocol.
     std::optional<mpc::NonlinearBackend> nonlinear;
+    /// Compute/communication overlap (docs/PROTOCOL.md §10): pipelined
+    /// transport sends, chunked HE response streaming, and cross-layer
+    /// mask prefetch. Purely local scheduling — wire bytes, frame order,
+    /// and logits are bit-identical either way, so the two parties need
+    /// NOT agree on this field. Default on; --no-pipeline in the demos.
+    bool pipeline = pipeline_default();
 };
 
 /// The server's resolved nonlinear backend for this config.
@@ -145,6 +155,11 @@ inline void validate_client_input(const CompiledModel& model, const Tensor& inpu
 /// keep identical accounting); wall time is not the channel's to know —
 /// fill `wall_seconds` from your own clock.
 [[nodiscard]] PiStats stats_from_channel(const net::ChannelStats& stats);
+
+/// stats_from_channel plus this party's compute-vs-network split: the
+/// transport's per-phase blocked-on-network seconds (recv waits + any
+/// pipelined-send backpressure) land in the *_wait_seconds fields.
+[[nodiscard]] PiStats stats_from_transport(const net::Transport& transport);
 
 /// Translate a finished run's channel accounting into PiStats.
 [[nodiscard]] PiStats stats_from_run(const net::RunResult& run);
