@@ -21,6 +21,7 @@
 #include "attack/inverse.hpp"
 #include "attack/mla.hpp"
 #include "nn/models.hpp"
+#include "nn/zoo.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
 #include "pi/c2pi.hpp"
@@ -72,7 +73,7 @@ struct Scale {
 
 /// Train (or load from bench_cache/) one model on one dataset; reports
 /// test accuracy through `test_accuracy` when non-null.
-[[nodiscard]] inline nn::Sequential load_or_train(const std::string& model_name,
+[[nodiscard]] inline nn::Graph load_or_train(const std::string& model_name,
                                                   const std::string& dataset_kind,
                                                   const data::SyntheticImageDataset& dataset,
                                                   double* test_accuracy = nullptr) {
@@ -81,7 +82,7 @@ struct Scale {
     mcfg.num_classes = dataset.config().num_classes;
     mcfg.input_hw = s.image_size;
     mcfg.width_multiplier = s.width_multiplier;
-    nn::Sequential model = nn::make_model(model_name, mcfg);
+    nn::Graph model = nn::zoo::build(model_name, mcfg);
 
     (void)std::system("mkdir -p /root/repo/bench_cache");
     char path[256];
@@ -131,7 +132,7 @@ struct Scale {
 }
 
 /// Integer conv-id cut points 1..n-1 (the x-axis of Figs. 1/4/5/6/7/8).
-[[nodiscard]] inline std::vector<nn::CutPoint> conv_id_cuts(const nn::Sequential& model) {
+[[nodiscard]] inline std::vector<nn::CutPoint> conv_id_cuts(const nn::Graph& model) {
     std::vector<nn::CutPoint> cuts;
     for (std::int64_t i = 1; i < model.num_linear_ops(); ++i)
         cuts.push_back({.linear_index = i, .after_relu = false});
@@ -143,7 +144,7 @@ struct Scale {
 /// SSIM values are deterministic, so they are cached in bench_cache/ and
 /// shared across bench binaries.
 [[nodiscard]] inline double cached_dina_ssim(const std::string& model_name,
-                                             const std::string& ds_kind, nn::Sequential& model,
+                                             const std::string& ds_kind, nn::Graph& model,
                                              const data::SyntheticImageDataset& dataset,
                                              const nn::CutPoint& cut, float lambda) {
     const Scale s = scale();
@@ -174,7 +175,7 @@ struct Scale {
 /// at once (one tail-to-head sweep serves all sigmas). Returns one
 /// BoundaryResult per sigma, in order.
 [[nodiscard]] inline std::vector<pi::BoundaryResult> cached_boundary_search(
-    const std::string& model_name, const std::string& ds_kind, nn::Sequential& model,
+    const std::string& model_name, const std::string& ds_kind, nn::Graph& model,
     const data::SyntheticImageDataset& dataset, std::span<const double> sigmas, float lambda,
     double max_accuracy_drop, bool include_half_points) {
     const auto cuts = pi::candidate_cuts(model, include_half_points);

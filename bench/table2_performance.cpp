@@ -90,6 +90,33 @@ int main() {
             record("C2PI (s=0.3)", measure(c2pi03, cut_cfg, input), base);
         }
     }
+    // Serving-only residual-model row (BM_ResNetServerOnline): resnet9
+    // through the Graph IR with the first residual block — skip-add
+    // included — inside the crypto prefix. Untrained weights and a fixed
+    // boundary: traffic and latency are weight-independent, and the
+    // boundary-search machinery is already covered by the rows above.
+    {
+        std::printf("\n=== resnet9 (serving only) ===\n");
+        nn::ModelConfig mcfg;
+        mcfg.input_hw = bench::scale().image_size;
+        mcfg.width_multiplier = bench::scale().width_multiplier;
+        const nn::Graph resnet = nn::make_resnet9(mcfg);
+        const Shape chw{3, bench::scale().image_size, bench::scale().image_size};
+        const pi::CompiledModel compiled(
+            resnet, {.input_chw = chw,
+                     .boundary = nn::CutPoint{.linear_index = 5, .after_relu = false},
+                     .he_ring_degree = bench::scale().he_ring_degree});
+        for (const pi::PiBackend backend : {pi::PiBackend::kDelphi, pi::PiBackend::kCheetah}) {
+            const pi::SessionConfig cfg{.backend = backend};
+            const Measurement m = measure(compiled, cfg, input);
+            print_row("BM_ResNetServerOnline", m, m);
+            json.add_row(std::string("resnet9/") + pi::backend_name(backend) +
+                             "/BM_ResNetServerOnline",
+                         {{"lan_s", m.lan}, {"wan_s", m.wan}, {"comm_mb", m.comm_mb},
+                          {"wall_s", m.wall}});
+        }
+    }
+
     bench::print_rule();
     std::printf(
         "Paper: C2PI speeds Delphi up to 2.62x/3.88x (LAN/WAN) and Cheetah up to\n"

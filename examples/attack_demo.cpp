@@ -9,7 +9,7 @@
 
 #include "attack/inverse.hpp"
 #include "metrics/ssim.hpp"
-#include "nn/models.hpp"
+#include "nn/zoo.hpp"
 #include "nn/trainer.hpp"
 
 namespace {
@@ -48,7 +48,7 @@ int main() {
     nn::ModelConfig mcfg;
     mcfg.width_multiplier = 0.1F;
     mcfg.input_hw = 16;
-    nn::Sequential model = nn::make_alexnet(mcfg);
+    nn::Graph model = nn::zoo::build("alexnet", mcfg);
     nn::TrainConfig tcfg;
     tcfg.epochs = 12;
     tcfg.lr = 0.01F;

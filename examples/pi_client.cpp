@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
         if (!demo::parse_remote_flag(argc, argv, i, opts)) {
             std::fprintf(stderr,
                          "usage: pi_client [--host H] [--port P]\n"
+                         "                 [--model demo|alexnet|vgg16|vgg19|resnet9|resnet18]\n"
                          "                 [--backend delphi|cheetah] [--nonlinear gc|ot|fss]\n"
                          "                 [--noise L] [--no-pipeline] [--input-seed N]\n"
                          "                 [--check --with-model]\n"
@@ -153,11 +154,12 @@ int main(int argc, char** argv) {
             demo::print_stats(stats);
 
             if (opts.check) {
-                // Opt-in audit path (--with-model): reconstruct the demo
+                // Opt-in audit path (--with-model): reconstruct the served
                 // model locally and compare against plaintext inference.
                 // The weights exist only on this side branch — the
-                // protocol above never saw them.
-                const nn::Sequential model = demo::make_demo_model();
+                // protocol above never saw them. --model must match the
+                // server's choice for the audit to be meaningful.
+                const nn::Graph model = demo::make_remote_model(opts.model);
                 const Tensor want = model.infer(input);
                 float max_diff = 0.0F;
                 for (std::int64_t i = 0; i < want.numel(); ++i)

@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
         if (!demo::parse_remote_flag(argc, argv, i, opts)) {
             std::fprintf(stderr,
                          "usage: pi_server [--port P] [--clients N] [--full-pi]\n"
+                         "                 [--model demo|alexnet|vgg16|vgg19|resnet9|resnet18]\n"
                          "                 [--backend delphi|cheetah] [--nonlinear gc|ot|fss]\n"
                          "                 [--noise L] [--no-pipeline] [--pool W] [--queue Q]\n"
                          "                 [--tail-window MS] [--handshake-timeout MS]\n");
@@ -90,8 +91,15 @@ int main(int argc, char** argv) {
         }
     }
 
-    const nn::Sequential model = demo::make_demo_model();
-    const pi::CompiledModel compiled(model, demo::demo_compile_options(opts.full_pi));
+    nn::Graph model;
+    try {
+        model = demo::make_remote_model(opts.model);
+    } catch (const nn::zoo::UnknownModel& e) {
+        std::fprintf(stderr, "pi_server: %s\n", e.what());
+        return 2;
+    }
+    const pi::CompiledModel compiled(
+        model, demo::remote_compile_options(model, opts.model, opts.full_pi));
     std::printf("compiled %s model: %lld crypto + %lld clear linear ops\n",
                 opts.full_pi ? "full-PI" : "crypto-clear",
                 static_cast<long long>(compiled.crypto_linear_ops()),

@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "nn/models.hpp"
+#include "nn/zoo.hpp"
 #include "nn/trainer.hpp"
 #include "pi/c2pi.hpp"
 
@@ -48,7 +48,7 @@ int main() {
     nn::ModelConfig mcfg;
     mcfg.width_multiplier = 0.1F;
     mcfg.input_hw = 32;
-    nn::Sequential model = nn::make_vgg16(mcfg);
+    nn::Graph model = nn::zoo::build("vgg16", mcfg);
     std::printf("Training the hospital's VGG16 classifier ...\n");
     nn::TrainConfig tcfg;
     tcfg.epochs = 8;

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "attack/inverse.hpp"
-#include "nn/models.hpp"
+#include "nn/zoo.hpp"
 #include "nn/trainer.hpp"
 #include "pi/c2pi.hpp"
 
@@ -30,7 +30,7 @@ int main() {
     nn::ModelConfig mcfg;
     mcfg.width_multiplier = 0.1F;
     mcfg.input_hw = 16;
-    nn::Sequential model = nn::make_alexnet(mcfg);
+    nn::Graph model = nn::zoo::build("alexnet", mcfg);
 
     std::printf("Training AlexNet (width x%.2f) ...\n", mcfg.width_multiplier);
     nn::TrainConfig tcfg;

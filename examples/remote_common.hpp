@@ -25,6 +25,7 @@
 #include <string>
 
 #include "nn/layers.hpp"
+#include "nn/zoo.hpp"
 #include "pi/session.hpp"
 
 namespace c2pi::demo {
@@ -57,10 +58,47 @@ inline pi::CompiledModel::Options demo_compile_options(bool full_pi) {
     return opts;
 }
 
+/// Build the model served under `--model <id>`: "demo" is the classic
+/// hand-rolled smoke-test net above; anything else resolves through the
+/// typed zoo registry at smoke-test scale (16x16 inputs, 1/8 width).
+/// Throws nn::zoo::UnknownModel on an unrecognized id.
+inline nn::Graph make_remote_model(const std::string& id) {
+    if (id == "demo") return make_demo_model();
+    nn::ModelConfig cfg;
+    cfg.input_hw = 16;
+    cfg.width_multiplier = 0.125F;
+    return nn::zoo::build(id, cfg);
+}
+
+/// Compile options for `--model <id>`. The demo model keeps its historic
+/// boundary {2, after_relu} so its wire transcript stays byte-identical;
+/// zoo models cut at the deepest articulation point among their
+/// sweepable cuts (skip connections make some linear ops non-sweepable),
+/// which for residual models puts whole blocks — including their
+/// secret-shared skip-adds — inside the crypto prefix.
+inline pi::CompiledModel::Options remote_compile_options(const nn::Graph& model,
+                                                         const std::string& id, bool full_pi) {
+    if (id == "demo") return demo_compile_options(full_pi);
+    pi::CompiledModel::Options opts;
+    opts.input_chw = {3, 16, 16};
+    opts.he_ring_degree = 1024;
+    if (!full_pi) {
+        const auto linear = model.linear_op_indices();
+        std::vector<std::int64_t> sweepable;  // 1-based linear indices
+        for (std::size_t i = 1; i < linear.size(); ++i)
+            if (model.is_articulation(linear[i - 1]))
+                sweepable.push_back(static_cast<std::int64_t>(i));
+        require(!sweepable.empty(), "model has no sweepable cut points");
+        opts.boundary = nn::CutPoint{.linear_index = sweepable.back(), .after_relu = false};
+    }
+    return opts;
+}
+
 /// Flags shared by both binaries; each adds its own on top.
 struct RemoteOptions {
     std::string host = "127.0.0.1";
     std::uint16_t port = kDefaultPort;
+    std::string model = "demo";  // server: model id; client: --check reference
     bool full_pi = false;
     pi::SessionConfig session{};  // backend/noise/seed: must match peer
     int clients = 1;              // server: connections to serve (0 = forever)
@@ -92,6 +130,8 @@ inline bool parse_remote_flag(int argc, char** argv, int& i, RemoteOptions& o) {
     };
     if (flag == "--host") {
         o.host = value();
+    } else if (flag == "--model") {
+        o.model = value();
     } else if (flag == "--port") {
         o.port = static_cast<std::uint16_t>(std::strtoul(value(), nullptr, 10));
     } else if (flag == "--full-pi") {

@@ -5,7 +5,7 @@
 
 namespace c2pi::attack {
 
-Tensor noised_activation(nn::Sequential& model, const nn::CutPoint& cut, const Tensor& image_chw,
+Tensor noised_activation(nn::Graph& model, const nn::CutPoint& cut, const Tensor& image_chw,
                          float noise_lambda, Rng& rng) {
     const Tensor batched =
         image_chw.rank() == 3
@@ -19,7 +19,7 @@ Tensor noised_activation(nn::Sequential& model, const nn::CutPoint& cut, const T
     return act;
 }
 
-IdpaEvaluation evaluate_idpa(Idpa& attack, nn::Sequential& model, const nn::CutPoint& cut,
+IdpaEvaluation evaluate_idpa(Idpa& attack, nn::Graph& model, const nn::CutPoint& cut,
                              const data::SyntheticImageDataset& dataset, std::size_t n_eval,
                              float noise_lambda, std::uint64_t seed) {
     attack.fit(model, cut, dataset, noise_lambda);

@@ -24,11 +24,11 @@ public:
     /// network on the attacker's own data). `noise_lambda` is the uniform
     /// share-noise magnitude the defense adds — the attacker knows it and
     /// trains against it (strongest-attack convention, paper §IV-A).
-    virtual void fit(nn::Sequential& model, const nn::CutPoint& cut,
+    virtual void fit(nn::Graph& model, const nn::CutPoint& cut,
                      const data::SyntheticImageDataset& dataset, float noise_lambda) = 0;
 
     /// Reconstruct an input estimate from an activation (batch of one).
-    [[nodiscard]] virtual Tensor recover(nn::Sequential& model, const nn::CutPoint& cut,
+    [[nodiscard]] virtual Tensor recover(nn::Graph& model, const nn::CutPoint& cut,
                                          const Tensor& activation) = 0;
 
     [[nodiscard]] virtual std::string name() const = 0;
@@ -47,14 +47,14 @@ struct IdpaEvaluation {
 
 /// Fit the attack, then recover `n_eval` test images from their (noised)
 /// activations at `cut` and report average SSIM/PSNR against the truth.
-[[nodiscard]] IdpaEvaluation evaluate_idpa(Idpa& attack, nn::Sequential& model,
+[[nodiscard]] IdpaEvaluation evaluate_idpa(Idpa& attack, nn::Graph& model,
                                            const nn::CutPoint& cut,
                                            const data::SyntheticImageDataset& dataset,
                                            std::size_t n_eval, float noise_lambda,
                                            std::uint64_t seed);
 
 /// Noised activation M_l(x) + U(-lambda, lambda), batch of one.
-[[nodiscard]] Tensor noised_activation(nn::Sequential& model, const nn::CutPoint& cut,
+[[nodiscard]] Tensor noised_activation(nn::Graph& model, const nn::CutPoint& cut,
                                        const Tensor& image_chw, float noise_lambda, Rng& rng);
 
 }  // namespace c2pi::attack

@@ -12,7 +12,7 @@ namespace {
 Shape drop_batch(const Shape& s) { return Shape(s.begin() + 1, s.end()); }
 }  // namespace
 
-void InverseNetAttack::build(nn::Sequential& model, const nn::CutPoint& cut,
+void InverseNetAttack::build(nn::Graph& model, const nn::CutPoint& cut,
                              const Shape& image_chw) {
     blocks_.clear();
     boundary_layers_.clear();
@@ -91,7 +91,7 @@ void InverseNetAttack::build(nn::Sequential& model, const nn::CutPoint& cut,
     }
 }
 
-std::vector<Tensor> InverseNetAttack::target_boundary_activations(nn::Sequential& model,
+std::vector<Tensor> InverseNetAttack::target_boundary_activations(nn::Graph& model,
                                                                   const Tensor& batch) const {
     std::vector<Tensor> d;
     d.reserve(boundary_layers_.size());
@@ -105,7 +105,7 @@ std::vector<Tensor> InverseNetAttack::target_boundary_activations(nn::Sequential
     return d;  // D_1 .. D_m (D_m is the attacked activation)
 }
 
-void InverseNetAttack::fit(nn::Sequential& model, const nn::CutPoint& cut,
+void InverseNetAttack::fit(nn::Graph& model, const nn::CutPoint& cut,
                            const data::SyntheticImageDataset& dataset, float noise_lambda) {
     const Shape image_chw = dataset.train().front().image.shape();
     build(model, cut, image_chw);
@@ -173,7 +173,7 @@ void InverseNetAttack::fit(nn::Sequential& model, const nn::CutPoint& cut,
     }
 }
 
-Tensor InverseNetAttack::recover(nn::Sequential& /*model*/, const nn::CutPoint& /*cut*/,
+Tensor InverseNetAttack::recover(nn::Graph& /*model*/, const nn::CutPoint& /*cut*/,
                                  const Tensor& activation) {
     require(!blocks_.empty(), "recover() before fit()");
     Tensor h = activation;

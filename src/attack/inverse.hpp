@@ -43,10 +43,10 @@ public:
     explicit InverseNetAttack(InverseKind kind, InverseConfig config = {})
         : kind_(kind), config_(config) {}
 
-    void fit(nn::Sequential& model, const nn::CutPoint& cut,
+    void fit(nn::Graph& model, const nn::CutPoint& cut,
              const data::SyntheticImageDataset& dataset, float noise_lambda) override;
 
-    [[nodiscard]] Tensor recover(nn::Sequential& model, const nn::CutPoint& cut,
+    [[nodiscard]] Tensor recover(nn::Graph& model, const nn::CutPoint& cut,
                                  const Tensor& activation) override;
 
     [[nodiscard]] std::string name() const override {
@@ -69,11 +69,11 @@ private:
         Shape out_shape;  ///< per-sample shape it produces
     };
 
-    void build(nn::Sequential& model, const nn::CutPoint& cut, const Shape& image_chw);
+    void build(nn::Graph& model, const nn::CutPoint& cut, const Shape& image_chw);
 
     /// Target-model activations at the sub-block boundaries for a batch
     /// (D_m = attack input first, ..., D_1 last-but-one, then the image).
-    [[nodiscard]] std::vector<Tensor> target_boundary_activations(nn::Sequential& model,
+    [[nodiscard]] std::vector<Tensor> target_boundary_activations(nn::Graph& model,
                                                                   const Tensor& batch) const;
 
     InverseKind kind_;

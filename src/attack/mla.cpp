@@ -7,7 +7,7 @@
 
 namespace c2pi::attack {
 
-Tensor MlaAttack::recover(nn::Sequential& model, const nn::CutPoint& cut,
+Tensor MlaAttack::recover(nn::Graph& model, const nn::CutPoint& cut,
                           const Tensor& activation) {
     Rng rng(config_.seed);
     require(model.layer(0).kind() == nn::LayerKind::kConv2d, "MLA expects a conv-first model");

@@ -21,10 +21,10 @@ class MlaAttack final : public Idpa {
 public:
     explicit MlaAttack(MlaConfig config = {}) : config_(config) {}
 
-    void fit(nn::Sequential&, const nn::CutPoint&, const data::SyntheticImageDataset&,
+    void fit(nn::Graph&, const nn::CutPoint&, const data::SyntheticImageDataset&,
              float) override {}
 
-    [[nodiscard]] Tensor recover(nn::Sequential& model, const nn::CutPoint& cut,
+    [[nodiscard]] Tensor recover(nn::Graph& model, const nn::CutPoint& cut,
                                  const Tensor& activation) override;
 
     [[nodiscard]] std::string name() const override { return "MLA"; }

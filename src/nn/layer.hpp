@@ -36,6 +36,8 @@ enum class LayerKind {
     kUpsample,
     kResidualBlock,
     kReshape,
+    kBatchNorm,
+    kGlobalAvgPool,
 };
 
 class Layer {

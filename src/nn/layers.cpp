@@ -162,6 +162,106 @@ std::string AvgPool2d::describe() const {
     return os.str();
 }
 
+// ----------------------------------------------------------- BatchNorm2d ---
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, Rng& rng)
+    : gamma_(Parameter(Tensor({channels}))),
+      beta_(Parameter(Tensor::randn({channels}, rng, 0.05F))),
+      running_mean_(Tensor::randn({channels}, rng, 0.05F)),
+      running_var_(Tensor({channels})) {
+    require(channels > 0, "batch-norm channels must be positive");
+    for (std::int64_t c = 0; c < channels; ++c) {
+        gamma_.value[c] = 1.0F + rng.normal(0.0F, 0.1F);
+        running_var_[c] = 1.0F + rng.uniform(0.0F, 0.25F);
+    }
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+    cached_input_ = x;
+    return infer(x);
+}
+
+Tensor BatchNorm2d::infer(const Tensor& x) const {
+    require(x.rank() == 4 && x.dim(1) == gamma_.value.numel(),
+            "batch-norm input must be [N,C,H,W] with matching channels");
+    const std::int64_t channels = x.dim(1);
+    const std::int64_t plane = x.dim(2) * x.dim(3);
+    Tensor y(x.shape());
+    for (std::int64_t n = 0; n < x.dim(0); ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float inv_std = 1.0F / std::sqrt(running_var_[c] + eps_);
+            const float scale = gamma_.value[c] * inv_std;
+            const float shift = beta_.value[c] - running_mean_[c] * scale;
+            const std::int64_t base = (n * channels + c) * plane;
+            for (std::int64_t k = 0; k < plane; ++k) y[base + k] = x[base + k] * scale + shift;
+        }
+    }
+    return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+    require(!cached_input_.empty(), "backward before forward");
+    // Running statistics are constants here, so the map is a per-channel
+    // affine: dx = g·γ/σ, dγ += Σ g·(x−μ)/σ, dβ += Σ g.
+    const std::int64_t channels = cached_input_.dim(1);
+    const std::int64_t plane = cached_input_.dim(2) * cached_input_.dim(3);
+    Tensor gx(cached_input_.shape());
+    for (std::int64_t n = 0; n < cached_input_.dim(0); ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float inv_std = 1.0F / std::sqrt(running_var_[c] + eps_);
+            const std::int64_t base = (n * channels + c) * plane;
+            for (std::int64_t k = 0; k < plane; ++k) {
+                const float g = grad_out[base + k];
+                gx[base + k] = g * gamma_.value[c] * inv_std;
+                gamma_.grad[c] += g * (cached_input_[base + k] - running_mean_[c]) * inv_std;
+                beta_.grad[c] += g;
+            }
+        }
+    }
+    return gx;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+    out.push_back(&gamma_);
+    out.push_back(&beta_);
+}
+
+std::string BatchNorm2d::describe() const {
+    std::ostringstream os;
+    os << "BatchNorm2d(" << gamma_.value.numel() << ')';
+    return os.str();
+}
+
+// --------------------------------------------------------- GlobalAvgPool ---
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+    cached_shape_ = x.shape();
+    return infer(x);
+}
+
+Tensor GlobalAvgPool::infer(const Tensor& x) const {
+    require(x.rank() == 4, "global-avgpool input must be [N,C,H,W]");
+    const std::int64_t plane = x.dim(2) * x.dim(3);
+    Tensor y({x.dim(0), x.dim(1)});
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+        float acc = 0.0F;
+        for (std::int64_t k = 0; k < plane; ++k) acc += x[i * plane + k];
+        y[i] = acc / static_cast<float>(plane);
+    }
+    return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+    require(!cached_shape_.empty(), "backward before forward");
+    const std::int64_t plane = cached_shape_[2] * cached_shape_[3];
+    Tensor gx(cached_shape_);
+    for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+        const float g = grad_out[i] / static_cast<float>(plane);
+        for (std::int64_t k = 0; k < plane; ++k) gx[i * plane + k] = g;
+    }
+    return gx;
+}
+
 // --------------------------------------------------------------- Flatten ---
 
 Tensor Flatten::forward(const Tensor& x) {

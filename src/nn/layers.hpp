@@ -125,6 +125,52 @@ private:
     Shape cached_shape_;
 };
 
+/// Inference-style batch normalisation over per-channel running
+/// statistics: y = γ·(x−μ)/√(σ²+ε) + β on [N,C,H,W]. The PI planner
+/// never sees this layer — Graph::fold_batch_norms() folds it into the
+/// producing Conv2d at compile time. `rng` draws slightly-off-identity
+/// parameters so folding is exercised non-trivially on untrained models.
+class BatchNorm2d final : public Layer {
+public:
+    BatchNorm2d(std::int64_t channels, Rng& rng);
+
+    Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_parameters(std::vector<Parameter*>& out) override;
+    [[nodiscard]] LayerKind kind() const override { return LayerKind::kBatchNorm; }
+    [[nodiscard]] std::string describe() const override;
+
+    [[nodiscard]] const Parameter& gamma() const { return gamma_; }
+    [[nodiscard]] const Parameter& beta() const { return beta_; }
+    [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
+    [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+    [[nodiscard]] float epsilon() const { return eps_; }
+
+private:
+    Parameter gamma_;      ///< [C]
+    Parameter beta_;       ///< [C]
+    Tensor running_mean_;  ///< [C]
+    Tensor running_var_;   ///< [C]
+    float eps_ = 1e-5F;
+    Tensor cached_input_;
+};
+
+/// Global average pool: [N,C,H,W] -> [N,C]. Replaces Flatten+wide-FC in
+/// the ResNet zoo entries; plans as a single local averaging op.
+class GlobalAvgPool final : public Layer {
+public:
+    GlobalAvgPool() = default;
+    Tensor forward(const Tensor& x) override;
+    [[nodiscard]] Tensor infer(const Tensor& x) const override;
+    Tensor backward(const Tensor& grad_out) override;
+    [[nodiscard]] LayerKind kind() const override { return LayerKind::kGlobalAvgPool; }
+    [[nodiscard]] std::string describe() const override { return "GlobalAvgPool"; }
+
+private:
+    Shape cached_shape_;
+};
+
 /// Nearest-neighbour upsample (inverse-model building block).
 class Upsample final : public Layer {
 public:

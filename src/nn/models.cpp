@@ -88,11 +88,83 @@ Sequential make_vgg19(const ModelConfig& cfg) {
     return make_vgg(plan, cfg);
 }
 
-Sequential make_model(const std::string& name, const ModelConfig& cfg) {
-    if (name == "alexnet") return make_alexnet(cfg);
-    if (name == "vgg16") return make_vgg16(cfg);
-    if (name == "vgg19") return make_vgg19(cfg);
-    fail("unknown model name: " + name);
+namespace {
+
+/// Conv3x3 (or 1x1 projection) followed by BatchNorm2d; returns the BN
+/// node. Convs keep their bias so fold_batch_norms() has a target.
+std::int64_t conv_bn(Graph& g, std::int64_t input, std::int64_t in_ch, std::int64_t out_ch,
+                     std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng) {
+    const auto conv = g.add_node(
+        std::make_unique<Conv2d>(in_ch, out_ch,
+                                 ops::ConvSpec{.kernel = kernel, .stride = stride, .pad = pad},
+                                 rng),
+        input);
+    return g.add_node(std::make_unique<BatchNorm2d>(out_ch, rng), conv);
+}
+
+/// He et al. basic block: conv-BN-ReLU-conv-BN plus skip, post-add ReLU.
+/// A stride-2 or channel-changing block projects the skip with a 1x1
+/// conv-BN; otherwise the skip is the identity edge.
+std::int64_t basic_block(Graph& g, std::int64_t input, std::int64_t in_ch, std::int64_t out_ch,
+                         std::int64_t stride, Rng& rng) {
+    auto h = conv_bn(g, input, in_ch, out_ch, 3, stride, 1, rng);
+    h = g.add_node(std::make_unique<Relu>(), h);
+    h = conv_bn(g, h, out_ch, out_ch, 3, 1, 1, rng);
+    std::int64_t skip = input;
+    if (stride != 1 || in_ch != out_ch) skip = conv_bn(g, input, in_ch, out_ch, 1, stride, 0, rng);
+    const auto sum = g.add_residual(h, skip);
+    return g.add_node(std::make_unique<Relu>(), sum);
+}
+
+std::int64_t gap_head(Graph& g, std::int64_t input, std::int64_t channels,
+                      const ModelConfig& cfg, Rng& rng) {
+    const auto gap = g.add_node(std::make_unique<GlobalAvgPool>(), input);
+    return g.add_node(std::make_unique<Linear>(channels, cfg.num_classes, rng), gap);
+}
+
+}  // namespace
+
+Graph make_resnet9(const ModelConfig& cfg, bool fold_bn) {
+    require(cfg.input_hw % 4 == 0, "resnet9 needs input_hw divisible by 4");
+    Rng rng(cfg.seed);
+    Graph g;
+    const auto ch = [&](std::int64_t base) { return scaled_channels(base, cfg.width_multiplier); };
+    const std::int64_t c1 = ch(64), c2 = ch(128), c3 = ch(256);
+
+    auto n = conv_bn(g, Graph::kInput, cfg.input_channels, c1, 3, 1, 1, rng);
+    n = g.add_node(std::make_unique<Relu>(), n);
+    n = conv_bn(g, n, c1, c2, 3, 1, 1, rng);
+    n = g.add_node(std::make_unique<Relu>(), n);
+    n = g.add_node(std::make_unique<MaxPool2d>(2, 2), n);
+    n = basic_block(g, n, c2, c2, 1, rng);
+    n = conv_bn(g, n, c2, c3, 3, 1, 1, rng);
+    n = g.add_node(std::make_unique<Relu>(), n);
+    n = g.add_node(std::make_unique<MaxPool2d>(2, 2), n);
+    n = basic_block(g, n, c3, c3, 1, rng);
+    (void)gap_head(g, n, c3, cfg, rng);
+    if (fold_bn) g.fold_batch_norms();
+    return g;
+}
+
+Graph make_resnet18(const ModelConfig& cfg, bool fold_bn) {
+    require(cfg.input_hw % 8 == 0, "resnet18 needs input_hw divisible by 8");
+    Rng rng(cfg.seed);
+    Graph g;
+    const auto ch = [&](std::int64_t base) { return scaled_channels(base, cfg.width_multiplier); };
+
+    auto n = conv_bn(g, Graph::kInput, cfg.input_channels, ch(64), 3, 1, 1, rng);
+    n = g.add_node(std::make_unique<Relu>(), n);
+    std::int64_t channels = ch(64);
+    for (const std::int64_t base : {64, 128, 256, 512}) {
+        const std::int64_t out = ch(base);
+        const std::int64_t stride = base == 64 ? 1 : 2;  // stage entry downsamples
+        n = basic_block(g, n, channels, out, stride, rng);
+        n = basic_block(g, n, out, out, 1, rng);
+        channels = out;
+    }
+    (void)gap_head(g, n, channels, cfg, rng);
+    if (fold_bn) g.fold_batch_norms();
+    return g;
 }
 
 }  // namespace c2pi::nn

@@ -2,9 +2,11 @@
 
 /// \file models.hpp
 /// The model zoo used in the paper's evaluation: AlexNet and VGG16/VGG19
-/// CIFAR variants. Exact layer topology (conv counts, ReLU placement,
-/// pooling schedule) is preserved; a width multiplier scales channel
-/// counts so experiments run on CPU (DESIGN.md §4, substitution 2).
+/// CIFAR variants, plus ResNet-9/ResNet-18 residual models built on the
+/// Graph IR. Exact layer topology (conv counts, ReLU placement, pooling
+/// schedule, skip structure) is preserved; a width multiplier scales
+/// channel counts so experiments run on CPU (DESIGN.md §4, substitution
+/// 2). Prefer the typed registry in nn/zoo.hpp for building by id.
 
 #include "core/rng.hpp"
 #include "nn/sequential.hpp"
@@ -29,8 +31,17 @@ struct ModelConfig {
 /// VGG19 CIFAR variant: 16 conv layers + 1 FC classifier.
 [[nodiscard]] Sequential make_vgg19(const ModelConfig& config);
 
-/// Factory by name ("alexnet" | "vgg16" | "vgg19").
-[[nodiscard]] Sequential make_model(const std::string& name, const ModelConfig& config);
+/// ResNet-9 CIFAR variant: conv stem, two basic blocks with identity
+/// skips, GlobalAvgPool head (8 linear ops after BN folding). Requires
+/// input_hw divisible by 4. When `fold_bn` is set (the default) the
+/// batch norms are folded into their convs so the graph compiles to PI.
+[[nodiscard]] Graph make_resnet9(const ModelConfig& config, bool fold_bn = true);
+
+/// ResNet-18 CIFAR variant (He et al. 2016): conv stem, four stages of
+/// two basic blocks (stride-2 + 1x1-projection at each stage entry),
+/// GlobalAvgPool head (21 linear ops after BN folding). Requires
+/// input_hw divisible by 8.
+[[nodiscard]] Graph make_resnet18(const ModelConfig& config, bool fold_bn = true);
 
 /// Channel count after width scaling (exposed for tests).
 [[nodiscard]] std::int64_t scaled_channels(std::int64_t base, float width_multiplier);

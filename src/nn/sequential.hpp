@@ -1,95 +1,22 @@
 #pragma once
 
 /// \file sequential.hpp
-/// Sequential layer container — the model IR shared by plaintext
-/// inference, training, the IDPA attacks, the PI engines and the C2PI
-/// boundary search.
-///
-/// Cut-point convention (paper §II "Notations"): linear ops (Conv2d /
-/// Linear) are numbered 1..n; "layer 3" is the third linear op and "layer
-/// 3.5" is the ReLU right after it. A CutPoint names the last *crypto*
-/// operation; flat_cut_index() translates it into the index of the last
-/// flat layer evaluated under MPC.
+/// Sequential layer container — the trivially-linear nn::Graph. Every
+/// node consumes its predecessor and there are no skip edges, so every
+/// index is an articulation point and all Graph machinery (cuts, ranges,
+/// planning) applies unchanged. Kept as a distinct type so chain-built
+/// models read as chains at call sites; residual models build a Graph
+/// directly (see models.cpp / zoo.cpp).
 
-#include <functional>
-#include <optional>
-
-#include "nn/layer.hpp"
+#include "nn/graph.hpp"
 
 namespace c2pi::nn {
 
-/// Boundary position in the paper's numbering scheme.
-struct CutPoint {
-    std::int64_t linear_index = 1;  ///< 1-based index of a Conv2d/Linear op
-    bool after_relu = false;        ///< true = the ".5" position
-
-    [[nodiscard]] double as_decimal() const {
-        return static_cast<double>(linear_index) + (after_relu ? 0.5 : 0.0);
-    }
-    friend bool operator==(const CutPoint&, const CutPoint&) = default;
-};
-
-class Sequential {
+class Sequential : public Graph {
 public:
     Sequential() = default;
     Sequential(Sequential&&) = default;
     Sequential& operator=(Sequential&&) = default;
-
-    /// Append a layer; returns it for convenient chaining/configuration.
-    Layer& add(LayerPtr layer);
-
-    template <typename T, typename... Args>
-    T& emplace(Args&&... args) {
-        auto layer = std::make_unique<T>(std::forward<Args>(args)...);
-        T& ref = *layer;
-        add(std::move(layer));
-        return ref;
-    }
-
-    [[nodiscard]] std::size_t size() const { return layers_.size(); }
-    [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
-    [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
-
-    /// Full forward pass.
-    [[nodiscard]] Tensor forward(const Tensor& x);
-    /// Forward through flat layers [begin, end).
-    [[nodiscard]] Tensor forward_range(std::size_t begin, std::size_t end, const Tensor& x);
-    /// Inference-only full forward: no activation caches are written, so
-    /// a const model can serve many threads concurrently (Layer::infer).
-    [[nodiscard]] Tensor infer(const Tensor& x) const;
-    /// Inference-only forward through flat layers [begin, end).
-    [[nodiscard]] Tensor infer_range(std::size_t begin, std::size_t end, const Tensor& x) const;
-    /// Backward through flat layers [begin, end) in reverse order; returns
-    /// dL/d(input of layer begin). forward_range over the same range must
-    /// have run immediately before.
-    [[nodiscard]] Tensor backward_range(std::size_t begin, std::size_t end, const Tensor& grad);
-
-    [[nodiscard]] std::vector<Parameter*> parameters();
-    void zero_grad();
-
-    /// Flat indices of all linear ops (Conv2d / Linear), in order.
-    [[nodiscard]] std::vector<std::size_t> linear_op_indices() const;
-    /// Number of linear ops.
-    [[nodiscard]] std::int64_t num_linear_ops() const;
-
-    /// Flat index of the last layer covered by the cut (the conv/linear op
-    /// itself, or its following ReLU for the ".5" position).
-    [[nodiscard]] std::size_t flat_cut_index(const CutPoint& cut) const;
-
-    /// Output of the first `cut` operations for input x (the paper's M_l(x)).
-    [[nodiscard]] Tensor forward_prefix(const CutPoint& cut, const Tensor& x);
-    /// Remaining network applied to an intermediate activation.
-    [[nodiscard]] Tensor forward_suffix(const CutPoint& cut, const Tensor& intermediate);
-
-    /// Human-readable architecture listing.
-    [[nodiscard]] std::string describe() const;
-
-private:
-    std::vector<LayerPtr> layers_;
 };
-
-/// Shape of M_l(x) for a given input shape, computed by a cache-free dry run.
-[[nodiscard]] Shape activation_shape(const Sequential& model, const CutPoint& cut,
-                                     const Shape& input_shape);
 
 }  // namespace c2pi::nn

@@ -9,7 +9,7 @@ namespace {
 constexpr std::uint32_t kMagic = 0xC2F11A8E;
 }
 
-void save_parameters(Sequential& model, const std::string& path) {
+void save_parameters(Graph& model, const std::string& path) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     require(out.good(), "cannot open parameter file for writing: " + path);
     const auto params = model.parameters();
@@ -29,7 +29,7 @@ void save_parameters(Sequential& model, const std::string& path) {
     require(out.good(), "failed writing parameter file: " + path);
 }
 
-void load_parameters(Sequential& model, const std::string& path) {
+void load_parameters(Graph& model, const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     require(in.good(), "cannot open parameter file: " + path);
     std::uint32_t magic = 0, count = 0;
@@ -53,7 +53,7 @@ void load_parameters(Sequential& model, const std::string& path) {
     require(in.good(), "truncated parameter file: " + path);
 }
 
-bool try_load_parameters(Sequential& model, const std::string& path) {
+bool try_load_parameters(Graph& model, const std::string& path) {
     try {
         load_parameters(model, path);
         return true;

@@ -7,19 +7,19 @@
 
 #include <string>
 
-#include "nn/sequential.hpp"
+#include "nn/graph.hpp"
 
 namespace c2pi::nn {
 
 /// Write all parameters of `model` to `path` (shapes + float32 data).
-void save_parameters(Sequential& model, const std::string& path);
+void save_parameters(Graph& model, const std::string& path);
 
 /// Load parameters saved by save_parameters into an identically-shaped
 /// model. Throws c2pi::Error on shape or format mismatch.
-void load_parameters(Sequential& model, const std::string& path);
+void load_parameters(Graph& model, const std::string& path);
 
 /// True if `path` exists and holds a parameter file loadable into `model`
 /// (used for opportunistic caching; never throws).
-[[nodiscard]] bool try_load_parameters(Sequential& model, const std::string& path);
+[[nodiscard]] bool try_load_parameters(Graph& model, const std::string& path);
 
 }  // namespace c2pi::nn

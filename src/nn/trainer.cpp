@@ -8,7 +8,7 @@
 
 namespace c2pi::nn {
 
-TrainReport train_classifier(Sequential& model, const data::SyntheticImageDataset& dataset,
+TrainReport train_classifier(Graph& model, const data::SyntheticImageDataset& dataset,
                              const TrainConfig& config) {
     Rng rng(config.seed);
     Sgd opt(model.parameters(), config.lr, config.momentum, config.weight_decay);
@@ -49,7 +49,7 @@ TrainReport train_classifier(Sequential& model, const data::SyntheticImageDatase
     return report;
 }
 
-double evaluate_accuracy(Sequential& model, std::span<const data::Sample> samples,
+double evaluate_accuracy(Graph& model, std::span<const data::Sample> samples,
                          std::int64_t batch_size) {
     require(!samples.empty(), "evaluate_accuracy on empty sample set");
     std::int64_t correct = 0;
@@ -82,7 +82,7 @@ double evaluate_accuracy(Sequential& model, std::span<const data::Sample> sample
     return static_cast<double>(correct) / static_cast<double>(samples.size());
 }
 
-double evaluate_accuracy_with_noise_at(Sequential& model, const CutPoint& cut,
+double evaluate_accuracy_with_noise_at(Graph& model, const CutPoint& cut,
                                        std::span<const data::Sample> samples, float lambda,
                                        std::uint64_t seed, std::int64_t batch_size) {
     require(!samples.empty(), "empty sample set");

@@ -4,7 +4,7 @@
 /// Classifier training / evaluation loops over the synthetic datasets.
 
 #include "data/synthetic.hpp"
-#include "nn/sequential.hpp"
+#include "nn/graph.hpp"
 
 namespace c2pi::nn {
 
@@ -25,11 +25,11 @@ struct TrainReport {
 };
 
 /// Train `model` on `dataset.train()` with SGD + cross-entropy.
-TrainReport train_classifier(Sequential& model, const data::SyntheticImageDataset& dataset,
+TrainReport train_classifier(Graph& model, const data::SyntheticImageDataset& dataset,
                              const TrainConfig& config);
 
 /// Top-1 accuracy of `model` over a list of samples (batched internally).
-[[nodiscard]] double evaluate_accuracy(Sequential& model, std::span<const data::Sample> samples,
+[[nodiscard]] double evaluate_accuracy(Graph& model, std::span<const data::Sample> samples,
                                        std::int64_t batch_size = 64);
 
 /// Accuracy when inference starts from (possibly noised) activations at a
@@ -37,7 +37,7 @@ TrainReport train_classifier(Sequential& model, const data::SyntheticImageDatase
 /// [-lambda, lambda] is added to M_l(x), and the suffix completes the
 /// inference. This is exactly the accuracy(l, lambda) check of
 /// Algorithm 1, and the quantity plotted in Fig. 7.
-[[nodiscard]] double evaluate_accuracy_with_noise_at(Sequential& model, const CutPoint& cut,
+[[nodiscard]] double evaluate_accuracy_with_noise_at(Graph& model, const CutPoint& cut,
                                                      std::span<const data::Sample> samples,
                                                      float lambda, std::uint64_t seed,
                                                      std::int64_t batch_size = 64);

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file zoo.hpp
+/// Typed model-zoo registry. Replaces the stringly make_model(name,
+/// config) factory: list() enumerates what exists (with input shapes and
+/// parameter counts, so tools can print a catalogue without hard-coding
+/// it), build(id, config) constructs by id, and an unknown id raises the
+/// typed UnknownModel error naming every valid id instead of a bare
+/// string mismatch deep in a bench.
+
+#include <string>
+#include <vector>
+
+#include "nn/models.hpp"
+
+namespace c2pi::nn::zoo {
+
+/// Catalogue entry for one registered architecture, evaluated at the
+/// default ModelConfig (width 0.25, 32x32 RGB, 10 classes).
+struct Descriptor {
+    std::string id;                ///< build() key, e.g. "resnet9"
+    std::string description;       ///< one-line human summary
+    Shape input_chw;               ///< default input shape {C, H, W}
+    std::int64_t param_count = 0;  ///< trainable scalars at default config
+    std::int64_t num_linear_ops = 0;
+    bool residual = false;         ///< true when the graph has skip edges
+};
+
+/// Typed error for build() with an id that is not in list().
+struct UnknownModel final : Error {
+    explicit UnknownModel(const std::string& id);
+};
+
+/// All registered models, in registration order. Built once, lazily.
+[[nodiscard]] const std::vector<Descriptor>& list();
+
+/// Construct a model by id; throws UnknownModel for ids not in list().
+[[nodiscard]] Graph build(const std::string& id, const ModelConfig& config = {});
+
+}  // namespace c2pi::nn::zoo

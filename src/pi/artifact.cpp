@@ -20,7 +20,12 @@ namespace {
 // byte-stable.
 
 constexpr std::uint8_t kArtifactMagic[4] = {'C', '2', 'M', 'A'};
-constexpr std::uint16_t kArtifactVersion = 1;
+/// v1: chain plans (entry i implicitly consumes entry i-1). v2: appends
+/// the input0/input1 edge indices to every plan entry, so DAG plans
+/// (residual adds, global-avgpool heads) ship; chain plans still emit v1
+/// so pre-DAG wire transcripts stay byte-identical.
+constexpr std::uint16_t kArtifactVersionV1 = 1;
+constexpr std::uint16_t kArtifactVersionV2 = 2;
 /// Hostile-input bounds: far above anything the model zoo produces, far
 /// below anything that could amplify into a giant allocation or overflow
 /// the derived-geometry arithmetic (out_h/out_w, shape_numel).
@@ -113,7 +118,7 @@ struct Reader {
     }
 };
 
-void write_plan_entry(Writer& w, const LayerPlan& p) {
+void write_plan_entry(Writer& w, const LayerPlan& p, std::uint16_t version) {
     w.u8(static_cast<std::uint8_t>(p.op));
     w.i64(p.geo.in_channels);
     w.i64(p.geo.height);
@@ -128,13 +133,18 @@ void write_plan_entry(Writer& w, const LayerPlan& p) {
     w.i64(p.pool_stride);
     w.shape(p.in_shape);
     w.shape(p.out_shape);
+    if (version >= kArtifactVersionV2) {
+        w.i64(p.input0);
+        w.i64(p.input1);
+    }
 }
 
-LayerPlan read_plan_entry(Reader& r) {
+LayerPlan read_plan_entry(Reader& r, std::uint16_t version, std::size_t index) {
     LayerPlan p;
     const std::uint8_t op = r.u8();
-    require(op <= static_cast<std::uint8_t>(PlanOp::kFlatten),
-            "model artifact: unknown plan op");
+    // v1 predates the DAG ops; a v1 payload claiming one is hostile.
+    const auto max_op = version >= kArtifactVersionV2 ? PlanOp::kResidualAdd : PlanOp::kFlatten;
+    require(op <= static_cast<std::uint8_t>(max_op), "model artifact: unknown plan op");
     p.op = static_cast<PlanOp>(op);
     p.geo.in_channels = r.i64();
     p.geo.height = r.i64();
@@ -149,12 +159,31 @@ LayerPlan read_plan_entry(Reader& r) {
     p.pool_stride = r.i64();
     p.in_shape = r.shape();
     p.out_shape = r.shape();
+    if (version >= kArtifactVersionV2) {
+        p.input0 = r.i64();
+        p.input1 = r.i64();
+    } else {
+        // v1 plans are chains by construction.
+        p.input0 = static_cast<std::int64_t>(index) - 1;
+        p.input1 = -1;
+    }
     return p;
+}
+
+/// A plan needs the v2 codec exactly when it is not a pure chain of
+/// v1-era ops; everything else round-trips through v1 byte-identically.
+bool plan_needs_v2(const std::vector<LayerPlan>& plan) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const LayerPlan& p = plan[i];
+        if (p.op == PlanOp::kGlobalAvgPool || p.op == PlanOp::kResidualAdd) return true;
+        if (p.input0 != static_cast<std::int64_t>(i) - 1 || p.input1 != -1) return true;
+    }
+    return false;
 }
 
 }  // namespace
 
-ModelArtifact ModelArtifact::build(const nn::Sequential& model, const Options& options) {
+ModelArtifact ModelArtifact::build(const nn::Graph& model, const Options& options) {
     require(options.input_chw.size() == 3, "ModelArtifact expects a [C,H,W] input shape");
     for (const auto d : options.input_chw)
         require(d > 0, "ModelArtifact input dimensions must be positive");
@@ -181,6 +210,11 @@ ModelArtifact ModelArtifact::build(const nn::Sequential& model, const Options& o
     a.cut = options.boundary.value_or(
         nn::CutPoint{.linear_index = model.num_linear_ops(), .after_relu = false});
     const std::size_t crypto_end = model.flat_cut_index(a.cut) + 1;
+    // A skip edge crossing the cut would make the boundary activation
+    // ill-defined: the clear tail would need a value the crypto prefix
+    // never revealed. Only articulation points are valid boundaries.
+    require(model.is_articulation(crypto_end - 1),
+            "boundary is not an articulation point: a skip connection crosses the cut");
     a.full_pi = crypto_end >= model.size() || a.cut.linear_index == a.num_linear_ops;
     a.plan = plan_layers(model, a.input_chw, crypto_end);
     // The server must never compile-and-serve an artifact that every
@@ -217,13 +251,27 @@ void ModelArtifact::validate() const {
     require(full_pi == (cut.linear_index == num_linear_ops),
             "model artifact: full_pi flag disagrees with the boundary");
 
-    // The plan must be a consistent shape chain starting at the input,
-    // with exactly cut.linear_index linear ops, ending as the paper's cut
+    // The plan must be a consistent shape DAG rooted at the input, with
+    // exactly cut.linear_index linear ops, ending as the paper's cut
     // convention demands (a linear op, or its ReLU for a ".5" boundary).
+    // Edge indices are hostile input like everything else: they must
+    // point strictly backward (a dangling or forward edge would index
+    // activations that do not exist at execution time).
     std::int64_t linear_ops = 0;
     for (std::size_t i = 0; i < plan.size(); ++i) {
         const LayerPlan& p = plan[i];
-        const Shape& expect_in = i == 0 ? input_chw : plan[i - 1].out_shape;
+        require(p.input0 >= -1 && p.input0 < static_cast<std::int64_t>(i),
+                "model artifact: dangling plan edge index");
+        if (p.op == PlanOp::kResidualAdd) {
+            require(p.input1 >= 0 && p.input1 < static_cast<std::int64_t>(i),
+                    "model artifact: dangling plan edge index");
+        } else {
+            require(p.input1 == -1,
+                    "model artifact: second input edge on a non-add plan entry");
+        }
+        const Shape& expect_in = p.input0 < 0
+                                     ? input_chw
+                                     : plan[static_cast<std::size_t>(p.input0)].out_shape;
         require(p.in_shape == expect_in, "model artifact: plan shape chain broken");
         check_shape(p.out_shape, "model artifact: plan shape out of range");
         switch (p.op) {
@@ -263,12 +311,32 @@ void ModelArtifact::validate() const {
                 require(p.in_shape.size() == 3 && p.pool_kernel <= p.in_shape[1] &&
                             p.pool_kernel <= p.in_shape[2],
                         "model artifact: pooling kernel larger than its input");
+                // Silent flooring is rejected everywhere: a window that
+                // does not tile would desync the plan from the plaintext
+                // reference computation.
+                require((p.in_shape[1] - p.pool_kernel) % p.pool_stride == 0 &&
+                            (p.in_shape[2] - p.pool_kernel) % p.pool_stride == 0,
+                        "model artifact: pooling geometry does not tile its input");
                 require(p.out_shape ==
                             Shape{p.in_shape[0],
                                   (p.in_shape[1] - p.pool_kernel) / p.pool_stride + 1,
                                   (p.in_shape[2] - p.pool_kernel) / p.pool_stride + 1},
                         "model artifact: pooling output disagrees with its parameters");
                 break;
+            case PlanOp::kGlobalAvgPool:
+                require(p.in_shape.size() == 3 && p.out_shape == Shape{p.in_shape[0]},
+                        "model artifact: global-avgpool output disagrees with its input");
+                break;
+            case PlanOp::kResidualAdd: {
+                require(p.in_shape == p.out_shape,
+                        "model artifact: shape-changing residual add");
+                const Shape& other = p.input1 < 0
+                                         ? input_chw
+                                         : plan[static_cast<std::size_t>(p.input1)].out_shape;
+                require(other == p.out_shape,
+                        "model artifact: residual add operand shapes disagree");
+                break;
+            }
             case PlanOp::kRelu:
                 require(p.in_shape == p.out_shape, "model artifact: shape-changing ReLU");
                 break;
@@ -287,9 +355,10 @@ void ModelArtifact::validate() const {
 }
 
 std::vector<std::uint8_t> ModelArtifact::serialize() const {
+    const std::uint16_t version = plan_needs_v2(plan) ? kArtifactVersionV2 : kArtifactVersionV1;
     Writer w;
     w.bytes.insert(w.bytes.end(), kArtifactMagic, kArtifactMagic + 4);
-    w.u16(kArtifactVersion);
+    w.u16(version);
     w.u32(0);  // total length, patched below
     w.shape(input_chw);
     w.i64(cut.linear_index);
@@ -301,7 +370,7 @@ std::vector<std::uint8_t> ModelArtifact::serialize() const {
     w.u32(static_cast<std::uint32_t>(he_limbs));
     w.u32(static_cast<std::uint32_t>(he_noise_bound));
     w.u32(static_cast<std::uint32_t>(plan.size()));
-    for (const LayerPlan& p : plan) write_plan_entry(w, p);
+    for (const LayerPlan& p : plan) write_plan_entry(w, p, version);
     const std::uint32_t total = static_cast<std::uint32_t>(w.bytes.size());
     for (int i = 0; i < 4; ++i)
         w.bytes[6 + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(total >> (8 * i));
@@ -315,7 +384,8 @@ ModelArtifact ModelArtifact::deserialize(std::span<const std::uint8_t> bytes) {
             "model artifact: bad magic (not a C2PI model artifact)");
     r.pos = 4;
     const std::uint16_t version = r.u16();
-    require(version == kArtifactVersion, "model artifact: unsupported codec version");
+    require(version == kArtifactVersionV1 || version == kArtifactVersionV2,
+            "model artifact: unsupported codec version");
     const std::uint32_t total = r.u32();
     require(total == bytes.size(),
             total > bytes.size() ? "model artifact: truncated payload"
@@ -335,7 +405,8 @@ ModelArtifact ModelArtifact::deserialize(std::span<const std::uint8_t> bytes) {
     require(entries > 0 && entries <= kMaxPlanEntries,
             "model artifact: plan size out of range");
     a.plan.reserve(entries);
-    for (std::uint32_t i = 0; i < entries; ++i) a.plan.push_back(read_plan_entry(r));
+    for (std::uint32_t i = 0; i < entries; ++i)
+        a.plan.push_back(read_plan_entry(r, version, i));
     require(r.remaining() == 0, "model artifact: trailing bytes after payload");
     a.validate();
     return a;

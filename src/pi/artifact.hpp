@@ -62,9 +62,9 @@ struct ModelArtifact {
     /// Plan the crypto prefix of `model` under `options` and package the
     /// public half. Throws c2pi::Error on invalid options (bad fixed-point
     /// format, non-power-of-two ring degree, boundary past the last
-    /// linear op) — validation happens here, at the API boundary.
-    [[nodiscard]] static ModelArtifact build(const nn::Sequential& model,
-                                             const Options& options);
+    /// linear op, a boundary that a skip edge crosses) — validation
+    /// happens here, at the API boundary.
+    [[nodiscard]] static ModelArtifact build(const nn::Graph& model, const Options& options);
 
     /// Structural validation (no model required): shape chain consistency,
     /// parameter ranges, plan/boundary agreement. deserialize() runs this
@@ -75,7 +75,10 @@ struct ModelArtifact {
     /// Versioned binary codec (magic/version/length-checked; all integers
     /// little-endian; see docs/PROTOCOL.md §3 for the normative layout).
     /// serialize() is deterministic: equal artifacts produce identical
-    /// bytes, so re-serializing a decoded artifact is byte-stable.
+    /// bytes, so re-serializing a decoded artifact is byte-stable. Chain
+    /// plans emit version 1 (byte-identical to pre-DAG artifacts); plans
+    /// with skip edges or v2-only ops emit version 2, which appends the
+    /// two edge indices to every plan entry.
     [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
     /// Decode + validate. Throws c2pi::Error on bad magic, unsupported

@@ -4,24 +4,28 @@
 
 namespace c2pi::pi {
 
-std::vector<nn::CutPoint> candidate_cuts(const nn::Sequential& model, bool include_half_points) {
+std::vector<nn::CutPoint> candidate_cuts(const nn::Graph& model, bool include_half_points) {
     const auto linear_positions = model.linear_op_indices();
     std::vector<nn::CutPoint> cuts;
     const std::int64_t n = static_cast<std::int64_t>(linear_positions.size());
     for (std::int64_t i = 1; i < n; ++i) {  // exclude the classifier op
-        cuts.push_back({.linear_index = i, .after_relu = false});
-        if (include_half_points) {
-            const std::size_t flat = linear_positions[static_cast<std::size_t>(i - 1)];
-            if (flat + 1 < model.size() &&
-                model.layer(flat + 1).kind() == nn::LayerKind::kRelu) {
-                cuts.push_back({.linear_index = i, .after_relu = true});
-            }
+        const std::size_t flat = linear_positions[static_cast<std::size_t>(i - 1)];
+        // On a DAG only articulation points separate prefix from tail: a
+        // cut a skip edge crosses has no single boundary activation, so
+        // it is not sweepable (on a chain every index qualifies).
+        if (model.is_articulation(flat))
+            cuts.push_back({.linear_index = i, .after_relu = false});
+        if (include_half_points && flat + 1 < model.size() && !model.is_add(flat + 1) &&
+            model.layer(flat + 1).kind() == nn::LayerKind::kRelu &&
+            model.input0(flat + 1) == static_cast<std::int64_t>(flat) &&
+            model.is_articulation(flat + 1)) {
+            cuts.push_back({.linear_index = i, .after_relu = true});
         }
     }
     return cuts;
 }
 
-BoundaryResult search_boundary(nn::Sequential& model, const data::SyntheticImageDataset& dataset,
+BoundaryResult search_boundary(nn::Graph& model, const data::SyntheticImageDataset& dataset,
                                const attack::IdpaFactory& make_attack,
                                const BoundaryConfig& config) {
     const auto cuts = candidate_cuts(model, config.include_half_points);

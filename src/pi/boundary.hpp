@@ -45,12 +45,12 @@ struct BoundaryResult {
 /// All sweepable cut points of a model: linear ops 1 .. n-1, optionally
 /// with their ".5" (post-ReLU) twins, in ascending order. The final
 /// classifier op is excluded (cutting there is full PI).
-[[nodiscard]] std::vector<nn::CutPoint> candidate_cuts(const nn::Sequential& model,
+[[nodiscard]] std::vector<nn::CutPoint> candidate_cuts(const nn::Graph& model,
                                                        bool include_half_points);
 
 /// Run Algorithm 1. `make_attack` supplies a fresh IDPA per probe (the
 /// paper uses DINA for the final system; MLA/EINA for comparison).
-[[nodiscard]] BoundaryResult search_boundary(nn::Sequential& model,
+[[nodiscard]] BoundaryResult search_boundary(nn::Graph& model,
                                              const data::SyntheticImageDataset& dataset,
                                              const attack::IdpaFactory& make_attack,
                                              const BoundaryConfig& config);

@@ -9,7 +9,7 @@ namespace {
 /// boundary, field for field. Serving weights against a mismatched
 /// artifact would fail deep inside the protocol — or worse, succeed with
 /// a transcript the client misinterprets.
-ModelArtifact checked_against(ModelArtifact artifact, const nn::Sequential& model) {
+ModelArtifact checked_against(ModelArtifact artifact, const nn::Graph& model) {
     artifact.validate();
     require(model.num_linear_ops() == artifact.num_linear_ops,
             "artifact/model mismatch: different linear-op counts");
@@ -22,7 +22,7 @@ ModelArtifact checked_against(ModelArtifact artifact, const nn::Sequential& mode
 
 }  // namespace
 
-CompiledModel::CompiledModel(const nn::Sequential& model, Options options)
+CompiledModel::CompiledModel(const nn::Graph& model, Options options)
     : CompiledModel(TrustedArtifact{ModelArtifact::build(
                         model, {.input_chw = std::move(options.input_chw),
                                 .boundary = options.boundary,
@@ -30,12 +30,12 @@ CompiledModel::CompiledModel(const nn::Sequential& model, Options options)
                                 .he_ring_degree = options.he_ring_degree})},
                     model, options.num_threads) {}
 
-CompiledModel::CompiledModel(ModelArtifact artifact, const nn::Sequential& model,
+CompiledModel::CompiledModel(ModelArtifact artifact, const nn::Graph& model,
                              int num_threads)
     : CompiledModel(TrustedArtifact{checked_against(std::move(artifact), model)}, model,
                     num_threads) {}
 
-CompiledModel::CompiledModel(TrustedArtifact trusted, const nn::Sequential& model,
+CompiledModel::CompiledModel(TrustedArtifact trusted, const nn::Graph& model,
                              int num_threads)
     : model_(&model),
       artifact_(std::move(trusted.artifact)),

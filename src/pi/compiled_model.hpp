@@ -113,18 +113,18 @@ public:
     /// borrowed const and must outlive the CompiledModel; its weights
     /// must not change while sessions use this artifact. Throws
     /// c2pi::Error on invalid options.
-    CompiledModel(const nn::Sequential& model, Options options);
+    CompiledModel(const nn::Graph& model, Options options);
 
     /// Compiles server secrets for an existing public artifact (e.g. one
     /// agreed with clients out of band). Verifies that the artifact's
     /// plan matches `model` exactly — a mismatched pairing throws instead
     /// of serving a protocol the client's artifact cannot describe.
-    CompiledModel(ModelArtifact artifact, const nn::Sequential& model, int num_threads = 0);
+    CompiledModel(ModelArtifact artifact, const nn::Graph& model, int num_threads = 0);
 
     CompiledModel(const CompiledModel&) = delete;
     CompiledModel& operator=(const CompiledModel&) = delete;
 
-    [[nodiscard]] const nn::Sequential& model() const { return *model_; }
+    [[nodiscard]] const nn::Graph& model() const { return *model_; }
     /// The public half: ship this (serialized) to clients at session
     /// start; it contains no weights and nothing derived from them.
     [[nodiscard]] const ModelArtifact& artifact() const { return artifact_; }
@@ -158,7 +158,7 @@ public:
     /// Run the revealed clear-layer tail as ONE plaintext pass over a
     /// [N, ...boundary_shape()] batch of boundary activations; returns
     /// [N, classes]. Const and thread-safe (uses the cache-free
-    /// Sequential::infer_range). Invalid for full-PI artifacts.
+    /// Graph::infer_range). Invalid for full-PI artifacts.
     [[nodiscard]] Tensor run_clear_tail(const Tensor& boundary_activations) const;
 
     /// Number of clear-tail passes executed so far (diagnostic; lets tests
@@ -181,9 +181,9 @@ private:
     struct TrustedArtifact {
         ModelArtifact artifact;
     };
-    CompiledModel(TrustedArtifact trusted, const nn::Sequential& model, int num_threads);
+    CompiledModel(TrustedArtifact trusted, const nn::Graph& model, int num_threads);
 
-    const nn::Sequential* model_;
+    const nn::Graph* model_;
     ModelArtifact artifact_;
     /// Initialized before server_data_ so an invalid num_threads fails at
     /// the API boundary, not after ring-encoding every weight.

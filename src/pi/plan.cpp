@@ -1,18 +1,63 @@
 #include "pi/plan.hpp"
 
+#include <sstream>
+
 #include "nn/layers.hpp"
 
 namespace c2pi::pi {
 
-std::vector<LayerPlan> plan_layers(const nn::Sequential& model, const Shape& input_chw, std::size_t end) {
+PoolGeometryError::PoolGeometryError(std::size_t index, const Shape& in_shape,
+                                     std::int64_t kernel, std::int64_t stride)
+    : Error([&] {
+          std::ostringstream os;
+          os << "pooling at layer " << index << " does not tile its input: [" << in_shape[1]
+             << 'x' << in_shape[2] << "] with kernel " << kernel << ", stride " << stride
+             << " leaves a partial window";
+          return os.str();
+      }()),
+      layer_index(index) {}
+
+namespace {
+
+/// (dim - kernel) / stride + 1, refusing geometry that leaves a partial
+/// window — silently flooring here would make the plan's out_shape
+/// disagree with the plaintext reference computation.
+Shape pooled_shape(const Shape& shape, std::int64_t kernel, std::int64_t stride,
+                   std::size_t index) {
+    if (kernel <= 0 || stride <= 0 || kernel > shape[1] || kernel > shape[2] ||
+        (shape[1] - kernel) % stride != 0 || (shape[2] - kernel) % stride != 0)
+        throw PoolGeometryError(index, shape, kernel, stride);
+    return {shape[0], (shape[1] - kernel) / stride + 1, (shape[2] - kernel) / stride + 1};
+}
+
+}  // namespace
+
+std::vector<LayerPlan> plan_layers(const nn::Graph& model, const Shape& input_chw, std::size_t end) {
     require(input_chw.size() == 3, "plan expects a [C,H,W] input shape");
     require(end <= model.size(), "plan range out of bounds");
     std::vector<LayerPlan> plan;
-    Shape shape = input_chw;  // [C,H,W] while spatial, [F] after flatten
+    std::vector<Shape> shapes(end);  // per-node output shapes
+    const auto shape_of = [&](std::int64_t src) -> const Shape& {
+        return src < 0 ? input_chw : shapes[static_cast<std::size_t>(src)];
+    };
 
     for (std::size_t i = 0; i < end; ++i) {
         LayerPlan entry;
-        entry.in_shape = shape;
+        entry.input0 = model.input0(i);
+        entry.in_shape = shape_of(entry.input0);
+        Shape shape = entry.in_shape;  // [C,H,W] while spatial, [F] after flatten
+
+        if (model.is_add(i)) {
+            entry.op = PlanOp::kResidualAdd;
+            entry.input1 = model.input1(i);
+            require(shape_of(entry.input1) == shape,
+                    "residual add joins operands of different shapes");
+            entry.out_shape = shape;
+            shapes[i] = shape;
+            plan.push_back(std::move(entry));
+            continue;
+        }
+
         const nn::Layer& layer = model.layer(i);
         switch (layer.kind()) {
             case nn::LayerKind::kConv2d: {
@@ -45,39 +90,49 @@ std::vector<LayerPlan> plan_layers(const nn::Sequential& model, const Shape& inp
                 break;
             case nn::LayerKind::kMaxPool: {
                 const auto& pool = static_cast<const nn::MaxPool2d&>(layer);
+                require(shape.size() == 3, "pooling after flatten is unsupported");
                 entry.op = PlanOp::kMaxPool;
                 entry.pool_kernel = pool.kernel();
                 entry.pool_stride = pool.stride();
-                shape = {shape[0], (shape[1] - pool.kernel()) / pool.stride() + 1,
-                         (shape[2] - pool.kernel()) / pool.stride() + 1};
+                shape = pooled_shape(shape, pool.kernel(), pool.stride(), i);
                 break;
             }
             case nn::LayerKind::kAvgPool: {
                 const auto& pool = static_cast<const nn::AvgPool2d&>(layer);
+                require(shape.size() == 3, "pooling after flatten is unsupported");
                 entry.op = PlanOp::kAvgPool;
                 entry.pool_kernel = pool.kernel();
                 entry.pool_stride = pool.stride();
-                shape = {shape[0], (shape[1] - pool.kernel()) / pool.stride() + 1,
-                         (shape[2] - pool.kernel()) / pool.stride() + 1};
+                shape = pooled_shape(shape, pool.kernel(), pool.stride(), i);
                 break;
             }
+            case nn::LayerKind::kGlobalAvgPool:
+                require(shape.size() == 3, "global-avgpool requires a spatial input");
+                entry.op = PlanOp::kGlobalAvgPool;
+                shape = {shape[0]};
+                break;
             case nn::LayerKind::kFlatten:
                 entry.op = PlanOp::kFlatten;
                 shape = {shape_numel(shape)};
                 break;
+            case nn::LayerKind::kBatchNorm:
+                fail("batch-norm layers must be folded before planning "
+                     "(Graph::fold_batch_norms)");
             default:
                 fail("layer kind not supported under MPC: " + layer.describe());
         }
         entry.out_shape = shape;
+        shapes[i] = shape;
         plan.push_back(std::move(entry));
     }
     return plan;
 }
 
-std::vector<ServerLayerData> extract_server_data(const nn::Sequential& model, std::size_t end,
+std::vector<ServerLayerData> extract_server_data(const nn::Graph& model, std::size_t end,
                                                  const FixedPointFormat& fmt) {
     std::vector<ServerLayerData> data(end);
     for (std::size_t i = 0; i < end; ++i) {
+        if (model.is_add(i)) continue;  // residual adds carry no weights
         const nn::Layer& layer = model.layer(i);
         if (layer.kind() == nn::LayerKind::kConv2d) {
             const auto& conv = static_cast<const nn::Conv2d&>(model.layer(i));

@@ -13,11 +13,23 @@
 #include "he/encoding.hpp"
 #include "mpc/linear.hpp"
 #include "mpc/ring_tensor.hpp"
-#include "nn/sequential.hpp"
+#include "nn/graph.hpp"
 
 namespace c2pi::pi {
 
-enum class PlanOp { kConv, kLinear, kRelu, kMaxPool, kAvgPool, kFlatten };
+/// Byte values are part of the artifact wire format: kGlobalAvgPool and
+/// kResidualAdd are appended (v2-only ops) so v1 artifacts keep their
+/// original encoding.
+enum class PlanOp {
+    kConv,
+    kLinear,
+    kRelu,
+    kMaxPool,
+    kAvgPool,
+    kFlatten,
+    kGlobalAvgPool,
+    kResidualAdd,
+};
 
 struct LayerPlan {
     PlanOp op;
@@ -28,10 +40,25 @@ struct LayerPlan {
     std::int64_t pool_stride = 0;
     Shape in_shape;                     ///< [C,H,W] or [F]
     Shape out_shape;
+    /// DAG edges: plan-entry index (or -1 = the boundary input) whose
+    /// output this entry consumes. input1 is -1 except for kResidualAdd.
+    /// A chain plan has input0 == i-1 everywhere (v1 artifacts imply it).
+    std::int64_t input0 = -1;
+    std::int64_t input1 = -1;
 
     /// Field-for-field equality: lets CompiledModel verify that a shipped
     /// ModelArtifact matches a locally-planned model exactly.
     friend bool operator==(const LayerPlan&, const LayerPlan&) = default;
+};
+
+/// Typed error for pooling geometry that does not tile its input: the
+/// seed planner silently floored (shape - kernel) / stride, which made
+/// the plan's out_shape disagree with what nn::ops actually computes.
+/// Raised at the planning API boundary with the offending node index.
+struct PoolGeometryError final : Error {
+    PoolGeometryError(std::size_t layer_index, const Shape& in_shape, std::int64_t kernel,
+                      std::int64_t stride);
+    std::size_t layer_index;
 };
 
 /// Per-layer server secrets for the crypto layers.
@@ -49,13 +76,18 @@ struct LayerCache {
     std::unique_ptr<mpc::MatVecLayerCache> matvec;
 };
 
-/// Plan flat layers [0, end) of the model for an input of shape [C,H,W].
-[[nodiscard]] std::vector<LayerPlan> plan_layers(const nn::Sequential& model, const Shape& input_chw,
+/// Plan graph nodes [0, end) of the model for an input of shape [C,H,W].
+/// Plan entry i mirrors node i, including its DAG edges; residual adds
+/// become kResidualAdd entries (free under additive sharing — executed
+/// locally on shares). Batch-norm nodes are rejected: fold them first
+/// (Graph::fold_batch_norms). Throws PoolGeometryError for pooling that
+/// does not tile its input.
+[[nodiscard]] std::vector<LayerPlan> plan_layers(const nn::Graph& model, const Shape& input_chw,
                                                  std::size_t end);
 
 /// Extract ring-encoded weights for every kConv/kLinear plan entry
 /// (entries for other ops are empty).
-[[nodiscard]] std::vector<ServerLayerData> extract_server_data(const nn::Sequential& model,
+[[nodiscard]] std::vector<ServerLayerData> extract_server_data(const nn::Graph& model,
                                                                std::size_t end,
                                                                const FixedPointFormat& fmt);
 

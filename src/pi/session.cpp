@@ -67,6 +67,23 @@ std::vector<Ring> local_avgpool(std::span<const Ring> x, const LayerPlan& p,
     return out;
 }
 
+/// GlobalAvgPool is linear, like AvgPool: local channel-plane sums times
+/// encode(1/(h*w)), truncated — no protocol rounds on either side.
+std::vector<Ring> local_global_avgpool(std::span<const Ring> x, const LayerPlan& p,
+                                       const FixedPointFormat& fmt) {
+    const std::int64_t c = p.in_shape[0];
+    const std::int64_t plane = p.in_shape[1] * p.in_shape[2];
+    const Ring inv = fmt.encode(1.0 / static_cast<double>(plane));
+    std::vector<Ring> out(static_cast<std::size_t>(c));
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        Ring acc = 0;
+        for (std::int64_t k = 0; k < plane; ++k)
+            acc += x[static_cast<std::size_t>(ch * plane + k)];
+        out[static_cast<std::size_t>(ch)] = fmt.truncate(acc * inv);
+    }
+    return out;
+}
+
 /// Canonical post-nonlinear resharing: the client replaces its output
 /// share with fresh draws from the dedicated share stream and shifts the
 /// difference to the server (delta is one-time-padded by the fresh draw,
@@ -153,25 +170,50 @@ struct PartyRun {
     const FixedPointFormat& fmt;
     mpc::NonlinearBackend nonlinear;  ///< negotiated at session start
 
-    /// Walk the crypto layers; `share` is this party's share of the
-    /// current activation. Sets phase per backend convention. The server
+    /// Walk the planned DAG; `share` is this party's share of the
+    /// boundary input. Sets phase per backend convention. The server
     /// serves straight from the compiled caches (no weight encode/NTT
     /// online); the client reuses their encoder geometry.
+    ///
+    /// Plan entries execute in plan order (a topological order by
+    /// construction); each entry's output share is kept live until its
+    /// last consumer, so a chain plan degenerates to the pre-DAG
+    /// move-through-one-buffer walk — identical traffic, identical PRG
+    /// consumption, identical transcripts. Residual adds are local share
+    /// additions: additive secret sharing makes them free (zero rounds,
+    /// zero bytes — pinned by pi_test's residual stats test).
     std::vector<Ring> execute(mpc::PartyContext& ctx, std::vector<Ring> share) const {
-        for (std::size_t i = 0; i < plan.size(); ++i) {
+        const std::size_t n = plan.size();
+        // Slot s holds the share of entry s-1's output (slot 0 = the
+        // input); last_use[s] is the index of its final consumer.
+        std::vector<std::size_t> last_use(n + 1, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            last_use[static_cast<std::size_t>(plan[i].input0 + 1)] = i;
+            if (plan[i].op == PlanOp::kResidualAdd)
+                last_use[static_cast<std::size_t>(plan[i].input1 + 1)] = i;
+        }
+        std::vector<std::vector<Ring>> outs(n);
+        const auto take = [&](std::size_t i, std::int64_t src) -> std::vector<Ring> {
+            std::vector<Ring>& s = src < 0 ? share : outs[static_cast<std::size_t>(src)];
+            if (last_use[static_cast<std::size_t>(src + 1)] == i) return std::move(s);
+            return s;  // copy: a later entry still consumes this slot
+        };
+
+        for (std::size_t i = 0; i < n; ++i) {
             const LayerPlan& p = plan[i];
             const bool offline_linear = backend == PiBackend::kDelphi;
+            std::vector<Ring> cur = take(i, p.input0);
             switch (p.op) {
                 case PlanOp::kConv: {
                     if (offline_linear) ctx.transport().set_phase(net::Phase::kOffline);
                     const mpc::ConvLayerCache& cache = *caches[i].conv;
                     if (ctx.is_server()) {
-                        share = mpc::he_conv_server(ctx, cache, share);
+                        cur = mpc::he_conv_server(ctx, cache, cur);
                     } else {
-                        share = mpc::he_conv_client(ctx, cache.enc, share);
+                        cur = mpc::he_conv_client(ctx, cache.enc, cur);
                     }
                     ctx.transport().set_phase(net::Phase::kOnline);
-                    for (auto& v : share)
+                    for (auto& v : cur)
                         v = static_cast<Ring>(static_cast<std::int64_t>(v) >> fmt.frac_bits);
                     break;
                 }
@@ -179,25 +221,25 @@ struct PartyRun {
                     if (offline_linear) ctx.transport().set_phase(net::Phase::kOffline);
                     const mpc::MatVecLayerCache& cache = *caches[i].matvec;
                     if (ctx.is_server()) {
-                        share = mpc::he_matvec_server(ctx, cache, share);
+                        cur = mpc::he_matvec_server(ctx, cache, cur);
                     } else {
-                        share = mpc::he_matvec_client(ctx, cache.enc, share);
+                        cur = mpc::he_matvec_client(ctx, cache.enc, cur);
                     }
                     ctx.transport().set_phase(net::Phase::kOnline);
-                    for (auto& v : share)
+                    for (auto& v : cur)
                         v = static_cast<Ring>(static_cast<std::int64_t>(v) >> fmt.frac_bits);
                     break;
                 }
                 case PlanOp::kRelu: {
                     MaskPrefetch prefetch(ctx, plan, i);
-                    share = reshare_canonical(ctx, mpc::secure_relu(ctx, share, nonlinear));
+                    cur = reshare_canonical(ctx, mpc::secure_relu(ctx, cur, nonlinear));
                     prefetch.commit();
                     break;
                 }
                 case PlanOp::kMaxPool: {
                     MaskPrefetch prefetch(ctx, plan, i);
-                    mpc::RingTensor t(p.in_shape, std::move(share));
-                    share = reshare_canonical(
+                    mpc::RingTensor t(p.in_shape, std::move(cur));
+                    cur = reshare_canonical(
                         ctx,
                         mpc::secure_maxpool(ctx, t, p.pool_kernel, p.pool_stride, nonlinear)
                             .data);
@@ -205,13 +247,26 @@ struct PartyRun {
                     break;
                 }
                 case PlanOp::kAvgPool:
-                    share = local_avgpool(share, p, fmt);
+                    cur = local_avgpool(cur, p, fmt);
                     break;
+                case PlanOp::kGlobalAvgPool:
+                    cur = local_global_avgpool(cur, p, fmt);
+                    break;
+                case PlanOp::kResidualAdd: {
+                    // [x]+[y] per party IS a share of x+y: no rounds, no
+                    // bytes, no PRG draws. Shares stay at scale f, so no
+                    // truncation either.
+                    const std::vector<Ring> other = take(i, p.input1);
+                    require(other.size() == cur.size(), "residual add share size mismatch");
+                    for (std::size_t k = 0; k < cur.size(); ++k) cur[k] += other[k];
+                    break;
+                }
                 case PlanOp::kFlatten:
                     break;  // NCHW flatten is a no-op on contiguous data
             }
+            outs[i] = std::move(cur);
         }
-        return share;
+        return std::move(outs.back());
     }
 };
 

@@ -31,6 +31,18 @@ ModelArtifact demo_artifact(bool full_pi = false) {
                                         .he_ring_degree = opts.he_ring_degree});
 }
 
+/// A DAG artifact: resnet9 at smoke scale, cut past the first residual
+/// block so the crypto-prefix plan carries a kResidualAdd entry and the
+/// codec must emit version 2.
+ModelArtifact resnet_artifact() {
+    const nn::Graph model = demo::make_remote_model("resnet9");
+    const auto opts = demo::remote_compile_options(model, "resnet9", /*full_pi=*/false);
+    return ModelArtifact::build(model, {.input_chw = opts.input_chw,
+                                        .boundary = opts.boundary,
+                                        .fmt = opts.fmt,
+                                        .he_ring_degree = opts.he_ring_degree});
+}
+
 // ------------------------------------------------------------------ codec ---
 
 TEST(ArtifactCodec, RoundTripIsByteStable) {
@@ -77,12 +89,84 @@ TEST(ArtifactCodec, RejectsBadMagic) {
 
 TEST(ArtifactCodec, RejectsVersionMismatch) {
     auto bytes = demo_artifact().serialize();
-    bytes[4] += 1;  // version u16 lives right after the 4-byte magic
+    bytes[4] = 3;  // version u16 lives right after the 4-byte magic; 1 and 2 are supported
     try {
         (void)ModelArtifact::deserialize(bytes);
         FAIL() << "future codec version must throw";
     } catch (const Error& e) {
         EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+    }
+}
+
+// -------------------------------------------------------- v2 (DAG) codec ---
+
+TEST(ArtifactCodecV2, ChainPlansStillEmitVersion1) {
+    // The pre-DAG wire format is load-bearing: sequential models must
+    // keep producing byte-identical v1 artifacts after the Graph refactor.
+    const auto bytes = demo_artifact().serialize();
+    EXPECT_EQ(bytes[4], 1);  // version u16 LE after the 4-byte magic
+    EXPECT_EQ(bytes[5], 0);
+}
+
+TEST(ArtifactCodecV2, DagRoundTripIsByteStable) {
+    const ModelArtifact artifact = resnet_artifact();
+    bool has_add = false;
+    for (const auto& p : artifact.plan) has_add |= p.op == PlanOp::kResidualAdd;
+    ASSERT_TRUE(has_add) << "resnet9 boundary must put a residual add in the crypto prefix";
+
+    const auto bytes = artifact.serialize();
+    EXPECT_EQ(bytes[4], 2);
+    EXPECT_EQ(bytes[5], 0);
+    const ModelArtifact back = ModelArtifact::deserialize(bytes);
+    EXPECT_EQ(back, artifact);
+    EXPECT_EQ(back.serialize(), bytes);
+}
+
+TEST(ArtifactCodecV2, RejectsEveryTruncation) {
+    const auto bytes = resnet_artifact().serialize();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_THROW((void)ModelArtifact::deserialize(
+                         std::span<const std::uint8_t>(bytes.data(), len)),
+                     Error)
+            << "prefix of " << len << " bytes must not decode";
+    }
+}
+
+TEST(ArtifactCodecV2, V1BytesSynthesizeChainEdges) {
+    // A v1 payload (no edge fields on the wire) must decode to the
+    // canonical chain edges so old artifacts keep working unchanged.
+    const auto bytes = demo_artifact().serialize();
+    const ModelArtifact back = ModelArtifact::deserialize(bytes);
+    for (std::size_t i = 0; i < back.plan.size(); ++i) {
+        EXPECT_EQ(back.plan[i].input0, static_cast<std::int64_t>(i) - 1);
+        EXPECT_EQ(back.plan[i].input1, -1);
+    }
+}
+
+TEST(ArtifactCodecV2, RejectsDanglingPlanEdge) {
+    ModelArtifact artifact = resnet_artifact();
+    // Forward reference: entry 1 consuming entry 5 has no defined value yet.
+    artifact.plan[1].input0 = 5;
+    try {
+        artifact.validate();
+        FAIL() << "dangling edge must throw";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("dangling plan edge"), std::string::npos)
+            << e.what();
+    }
+    // And the same hostile payload is rejected at the wire boundary.
+    EXPECT_THROW((void)ModelArtifact::deserialize(artifact.serialize()), Error);
+}
+
+TEST(ArtifactCodecV2, RejectsSecondEdgeOnNonAddEntry) {
+    ModelArtifact artifact = resnet_artifact();
+    for (std::size_t i = 0; i < artifact.plan.size(); ++i) {
+        if (artifact.plan[i].op == PlanOp::kResidualAdd) continue;
+        artifact.plan[i].input1 = 0;
+        EXPECT_THROW(artifact.validate(), Error);
+        EXPECT_THROW((void)ModelArtifact::deserialize(artifact.serialize()), Error);
+        artifact.plan[i].input1 = -1;
+        break;
     }
 }
 

@@ -20,6 +20,7 @@
 #include "net/faulty.hpp"
 #include "net/tcp.hpp"
 #include "nn/layers.hpp"
+#include "nn/sequential.hpp"
 #include "pi/bootstrap.hpp"
 #include "pi/retry.hpp"
 #include "pi/serving_pool.hpp"

@@ -18,6 +18,7 @@
 #include "fss/compare.hpp"
 #include "fss/dcf.hpp"
 #include "nn/layers.hpp"
+#include "nn/sequential.hpp"
 #include "pi/session.hpp"
 
 namespace c2pi::fss {

@@ -12,6 +12,7 @@
 #include "nn/sequential.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
+#include "nn/zoo.hpp"
 
 namespace c2pi {
 namespace {
@@ -188,8 +189,8 @@ TEST(Models, OutputShapeMatchesClasses) {
     nn::ModelConfig cfg;
     cfg.width_multiplier = 0.05F;
     cfg.num_classes = 20;
-    for (const char* name : {"alexnet", "vgg16", "vgg19"}) {
-        nn::Sequential m = nn::make_model(name, cfg);
+    for (const char* name : {"alexnet", "vgg16", "vgg19", "resnet9", "resnet18"}) {
+        nn::Graph m = nn::zoo::build(name, cfg);
         Rng rng(11);
         const Tensor x = Tensor::uniform({2, 3, 32, 32}, rng, 0.0F, 1.0F);
         const Tensor y = m.forward(x);
@@ -198,9 +199,133 @@ TEST(Models, OutputShapeMatchesClasses) {
     }
 }
 
-TEST(Models, UnknownNameThrows) {
+TEST(Zoo, UnknownIdThrowsTypedError) {
     nn::ModelConfig cfg;
-    EXPECT_THROW(nn::make_model("resnet50", cfg), Error);
+    EXPECT_THROW(nn::zoo::build("resnet50", cfg), nn::zoo::UnknownModel);
+    // The typed error names the bad id and the known catalogue.
+    try {
+        nn::zoo::build("resnet50", cfg);
+        FAIL() << "expected UnknownModel";
+    } catch (const nn::zoo::UnknownModel& e) {
+        EXPECT_NE(std::string(e.what()).find("resnet50"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("resnet9"), std::string::npos);
+    }
+}
+
+TEST(Zoo, ListDescribesCatalogue) {
+    const auto& catalogue = nn::zoo::list();
+    ASSERT_EQ(catalogue.size(), 5U);
+    bool saw_resnet9 = false;
+    for (const auto& d : catalogue) {
+        EXPECT_FALSE(d.id.empty());
+        EXPECT_FALSE(d.description.empty());
+        EXPECT_GT(d.param_count, 0);
+        EXPECT_GT(d.num_linear_ops, 0);
+        if (d.id == "resnet9") {
+            saw_resnet9 = true;
+            EXPECT_TRUE(d.residual);
+            EXPECT_EQ(d.num_linear_ops, 8);
+        }
+    }
+    EXPECT_TRUE(saw_resnet9);
+}
+
+TEST(Graph, ResidualForwardMatchesManualComposition) {
+    Rng rng(21);
+    nn::Graph g;
+    const auto c0 = g.add_node(
+        std::make_unique<nn::Conv2d>(2, 2, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng),
+        nn::Graph::kInput);
+    const auto r0 = g.add_node(std::make_unique<nn::Relu>(), c0);
+    const auto c1 = g.add_node(
+        std::make_unique<nn::Conv2d>(2, 2, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng),
+        r0);
+    const auto sum = g.add_residual(c1, c0);
+    (void)g.add_node(std::make_unique<nn::Relu>(), sum);
+
+    const Tensor x = Tensor::randn({1, 2, 5, 5}, rng);
+    const Tensor got = g.infer(x);
+    // Manual composition of the same layer objects over the same DAG.
+    const Tensor t0 = g.layer(static_cast<std::size_t>(c0)).infer(x);
+    const Tensor t1 = g.layer(static_cast<std::size_t>(r0)).infer(t0);
+    const Tensor t2 = g.layer(static_cast<std::size_t>(c1)).infer(t1);
+    const Tensor t3 = ops::add(t2, t0);
+    const Tensor want = g.layer(4).infer(t3);
+    EXPECT_TRUE(got.allclose(want));
+}
+
+TEST(Graph, ResidualBackwardMatchesFiniteDifference) {
+    Rng rng(22);
+    nn::Graph g;
+    const auto c0 = g.add_node(
+        std::make_unique<nn::Conv2d>(1, 2, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng),
+        nn::Graph::kInput);
+    const auto r0 = g.add_node(std::make_unique<nn::Relu>(), c0);
+    const auto c1 = g.add_node(
+        std::make_unique<nn::Conv2d>(2, 2, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng),
+        r0);
+    (void)g.add_residual(c1, c0);  // fan-out on c0: grads must accumulate
+
+    const Tensor x = Tensor::randn({1, 1, 4, 4}, rng, 0.5F);
+    const Tensor y = g.forward(x);
+    Tensor gy(y.shape());
+    gy.fill(1.0F);
+    const Tensor gx = g.backward_range(0, g.size(), gy);
+    ASSERT_EQ(gx.numel(), x.numel());
+    const float eps = 1e-2F;
+    for (std::int64_t i = 0; i < x.numel(); i += 2) {
+        Tensor xp = x, xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const float fp = ops::sum(g.forward(xp));
+        const float fm = ops::sum(g.forward(xm));
+        EXPECT_NEAR(gx[i], (fp - fm) / (2 * eps), 5e-2F) << "index " << i;
+    }
+}
+
+TEST(Graph, FoldBatchNormsPreservesInference) {
+    nn::ModelConfig cfg;
+    cfg.width_multiplier = 0.1F;
+    cfg.input_hw = 16;
+    nn::Graph with_bn = nn::make_resnet9(cfg, /*fold_bn=*/false);
+    nn::Graph folded = nn::make_resnet9(cfg, /*fold_bn=*/true);  // same seed, same weights
+    EXPECT_LT(folded.size(), with_bn.size());
+    for (std::size_t i = 0; i < folded.size(); ++i) {
+        if (folded.is_add(i)) continue;
+        EXPECT_NE(folded.layer(i).kind(), nn::LayerKind::kBatchNorm);
+    }
+    Rng rng(23);
+    const Tensor x = Tensor::uniform({2, 3, 16, 16}, rng, 0.0F, 1.0F);
+    const Tensor want = with_bn.infer(x);
+    const Tensor got = folded.infer(x);
+    EXPECT_TRUE(got.allclose(want, 1e-4F));
+}
+
+TEST(Graph, ArticulationPointsExcludeSkipSpans) {
+    Rng rng(24);
+    nn::Graph g;
+    const auto c0 = g.add_node(
+        std::make_unique<nn::Conv2d>(2, 2, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng),
+        nn::Graph::kInput);
+    const auto r0 = g.add_node(std::make_unique<nn::Relu>(), c0);
+    const auto c1 = g.add_node(
+        std::make_unique<nn::Conv2d>(2, 2, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1}, rng),
+        r0);
+    const auto sum = g.add_residual(c1, c0);
+    const auto r1 = g.add_node(std::make_unique<nn::Relu>(), sum);
+    // The skip edge (c0 -> add) crosses every node strictly inside it.
+    EXPECT_TRUE(g.is_articulation(static_cast<std::size_t>(c0)));
+    EXPECT_FALSE(g.is_articulation(static_cast<std::size_t>(r0)));
+    EXPECT_FALSE(g.is_articulation(static_cast<std::size_t>(c1)));
+    EXPECT_TRUE(g.is_articulation(static_cast<std::size_t>(sum)));
+    EXPECT_TRUE(g.is_articulation(static_cast<std::size_t>(r1)));
+    // A pure chain is all articulation points.
+    nn::Sequential chain;
+    chain.emplace<nn::Relu>();
+    chain.emplace<nn::Flatten>();
+    EXPECT_TRUE(chain.is_linear_chain());
+    EXPECT_TRUE(chain.is_articulation(0));
+    EXPECT_TRUE(chain.is_articulation(1));
 }
 
 TEST(Models, ScaledChannelsFloorsAtFour) {

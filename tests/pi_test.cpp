@@ -181,10 +181,10 @@ public:
     ScriptedIdpa(double success_until, const data::SyntheticImageDataset& dataset)
         : success_until_(success_until), dataset_(&dataset) {}
 
-    void fit(nn::Sequential&, const nn::CutPoint&, const data::SyntheticImageDataset&,
+    void fit(nn::Graph&, const nn::CutPoint&, const data::SyntheticImageDataset&,
              float) override {}
 
-    Tensor recover(nn::Sequential&, const nn::CutPoint& cut, const Tensor& activation) override {
+    Tensor recover(nn::Graph&, const nn::CutPoint& cut, const Tensor& activation) override {
         if (cut.as_decimal() <= success_until_) {
             // Return the test image whose activation this is: the harness
             // evaluates images in order, so emulate success by returning a
@@ -314,6 +314,156 @@ TEST(C2piSystem, EndToEndWithScriptedAttack) {
     const auto res = system.infer(img.reshaped({1, 3, 16, 16}));
     EXPECT_EQ(res.logits.dim(1), 10);
     EXPECT_GT(res.hidden_linear_ops, 0);
+}
+
+TEST(Plan, NonTilingPoolGeometryThrowsTypedError) {
+    // (5 - 2) % 2 != 0: the window doesn't tile. The old planner silently
+    // floored the output shape, disagreeing with plaintext inference.
+    nn::Sequential m;
+    m.emplace<nn::Relu>();
+    m.emplace<nn::MaxPool2d>(2, 2);
+    try {
+        (void)plan_layers(m, {1, 5, 5}, m.size());
+        FAIL() << "non-tiling pool must throw";
+    } catch (const PoolGeometryError& e) {
+        EXPECT_EQ(e.layer_index, 1U);
+        EXPECT_NE(std::string(e.what()).find("does not tile"), std::string::npos) << e.what();
+    }
+}
+
+// -------------------------------------------------------- residual models ---
+
+nn::Graph make_resnet_under_test() {
+    nn::ModelConfig cfg;
+    cfg.input_hw = 16;
+    cfg.width_multiplier = 0.125F;
+    return nn::make_resnet9(cfg);
+}
+
+/// Boundary past the first residual block: the crypto prefix carries a
+/// secret-shared skip-add, the clear tail the second block.
+CompiledModel::Options resnet_compile_options() {
+    CompiledModel::Options opts;
+    opts.input_chw = {3, 16, 16};
+    opts.he_ring_degree = 1024;
+    opts.boundary = nn::CutPoint{.linear_index = 5, .after_relu = false};
+    return opts;
+}
+
+TEST(ResNetPi, CrossBackendLogitsBitIdentical) {
+    const nn::Graph model = make_resnet_under_test();
+    const CompiledModel compiled(model, resnet_compile_options());
+    bool has_add = false;
+    for (const auto& p : compiled.artifact().plan) has_add |= p.op == PlanOp::kResidualAdd;
+    ASSERT_TRUE(has_add) << "crypto prefix must contain the block's skip-add";
+
+    Rng rng(700);
+    const Tensor input = Tensor::uniform({1, 3, 16, 16}, rng, 0.0F, 1.0F);
+    Tensor reference;
+    for (const auto nonlinear :
+         {mpc::NonlinearBackend::kGarbledCircuit, mpc::NonlinearBackend::kOtMillionaire,
+          mpc::NonlinearBackend::kFss}) {
+        for (const bool pipeline : {true, false}) {
+            SessionConfig config{.seed = 7};
+            config.nonlinear = nonlinear;
+            config.pipeline = pipeline;
+            const PiResult res = run_private_inference(compiled, config, input);
+            if (reference.numel() == 0) {
+                reference = res.logits;
+            } else {
+                ASSERT_TRUE(res.logits.same_shape(reference));
+                EXPECT_TRUE(res.logits.allclose(reference, 0.0F))
+                    << "nonlinear backend / pipelining changed resnet logits";
+            }
+        }
+    }
+    // And the shared secret reconstructs the plaintext model (fixed-point
+    // error only).
+    const Tensor want = model.infer(input);
+    ASSERT_TRUE(reference.same_shape(want));
+    EXPECT_TRUE(reference.allclose(want, 0.05F));
+}
+
+TEST(ResNetPi, StridedProjectionBlockMatchesPlaintext) {
+    // A downsampling basic block (resnet18's stage transition): stride-2
+    // main path, 1x1 stride-2 projection skip. Exercises strided conv
+    // planning and a residual whose operands are both computed nodes.
+    Rng rng(41);
+    nn::Graph g;
+    const auto c0 = g.add_node(
+        std::make_unique<nn::Conv2d>(2, 4, ops::ConvSpec{.kernel = 3, .stride = 2, .pad = 1},
+                                     rng),
+        nn::Graph::kInput);
+    const auto r0 = g.add_node(std::make_unique<nn::Relu>(), c0);
+    const auto c1 = g.add_node(
+        std::make_unique<nn::Conv2d>(4, 4, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1},
+                                     rng),
+        r0);
+    const auto proj = g.add_node(
+        std::make_unique<nn::Conv2d>(2, 4, ops::ConvSpec{.kernel = 1, .stride = 2, .pad = 0},
+                                     rng),
+        nn::Graph::kInput);
+    auto h = g.add_residual(c1, proj);
+    h = g.add_node(std::make_unique<nn::Relu>(), h);
+    h = g.add_node(std::make_unique<nn::Flatten>(), h);
+    (void)g.add_node(std::make_unique<nn::Linear>(4 * 4 * 4, 3, rng), h);
+
+    CompiledModel::Options opts;
+    opts.input_chw = {2, 8, 8};
+    opts.he_ring_degree = 1024;  // full PI
+    const CompiledModel compiled(g, opts);
+    Rng in_rng(42);
+    const Tensor input = Tensor::uniform({1, 2, 8, 8}, in_rng, 0.0F, 1.0F);
+    const PiResult res = run_private_inference(compiled, SessionConfig{.seed = 5}, input);
+    const Tensor want = g.infer(input);
+    ASSERT_TRUE(res.logits.same_shape(want));
+    EXPECT_TRUE(res.logits.allclose(want, 0.05F));
+}
+
+TEST(ResNetPi, ResidualAddCostsZeroCommunication) {
+    // Two models identical except for the skip-add: same conv/ReLU/FC
+    // shapes, one with a residual edge. The add runs locally on shares,
+    // so every traffic counter must match the chain model exactly.
+    const auto build = [](bool with_skip) {
+        Rng rng(31);
+        nn::Graph g;
+        const auto c0 = g.add_node(
+            std::make_unique<nn::Conv2d>(2, 2, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1},
+                                         rng),
+            nn::Graph::kInput);
+        const auto r0 = g.add_node(std::make_unique<nn::Relu>(), c0);
+        const auto c1 = g.add_node(
+            std::make_unique<nn::Conv2d>(2, 2, ops::ConvSpec{.kernel = 3, .stride = 1, .pad = 1},
+                                         rng),
+            r0);
+        auto h = with_skip ? g.add_residual(c1, c0) : c1;
+        h = g.add_node(std::make_unique<nn::Relu>(), h);
+        h = g.add_node(std::make_unique<nn::Flatten>(), h);
+        (void)g.add_node(std::make_unique<nn::Linear>(2 * 6 * 6, 4, rng), h);
+        return g;
+    };
+    CompiledModel::Options opts;
+    opts.input_chw = {2, 6, 6};
+    opts.he_ring_degree = 1024;  // full PI: the add sits inside the crypto region
+
+    const nn::Graph skip_model = build(true);
+    const nn::Graph chain_model = build(false);
+    const CompiledModel with_skip(skip_model, opts);
+    const CompiledModel chain(chain_model, opts);
+    Rng rng(32);
+    const Tensor input = Tensor::uniform({1, 2, 6, 6}, rng, 0.0F, 1.0F);
+    for (const auto backend : {PiBackend::kCheetah, PiBackend::kDelphi}) {
+        const SessionConfig config{.backend = backend, .seed = 3};
+        const PiResult a = run_private_inference(with_skip, config, input);
+        const PiResult b = run_private_inference(chain, config, input);
+        EXPECT_EQ(a.stats.preprocess_bytes, b.stats.preprocess_bytes);
+        EXPECT_EQ(a.stats.offline_bytes, b.stats.offline_bytes);
+        EXPECT_EQ(a.stats.online_bytes, b.stats.online_bytes) << "skip-add leaked online bytes";
+        EXPECT_EQ(a.stats.preprocess_flights, b.stats.preprocess_flights);
+        EXPECT_EQ(a.stats.offline_flights, b.stats.offline_flights);
+        EXPECT_EQ(a.stats.online_flights, b.stats.online_flights)
+            << "skip-add added a communication round";
+    }
 }
 
 }  // namespace

@@ -33,6 +33,7 @@
 #include "net/runtime.hpp"
 #include "net/tcp.hpp"
 #include "nn/layers.hpp"
+#include "nn/sequential.hpp"
 #include "pi/bootstrap.hpp"
 #include "pi/serving_pool.hpp"
 #include "pi/session.hpp"

@@ -12,6 +12,7 @@
 #include "he/kernels.hpp"
 #include "he/ntt.hpp"
 #include "nn/layers.hpp"
+#include "nn/sequential.hpp"
 #include "pi/session.hpp"
 #include "mpc/nonlinear.hpp"
 #include "net/runtime.hpp"

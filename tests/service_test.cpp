@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "nn/layers.hpp"
+#include "nn/sequential.hpp"
 #include "pi/service.hpp"
 
 namespace c2pi::pi {

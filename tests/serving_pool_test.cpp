@@ -13,6 +13,7 @@
 
 #include "net/tcp.hpp"
 #include "nn/layers.hpp"
+#include "nn/sequential.hpp"
 #include "pi/serving_pool.hpp"
 
 namespace c2pi::pi {
